@@ -1,0 +1,53 @@
+// Shared helpers for the experiment drivers (one binary per paper figure).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "hyparview/analysis/stats.hpp"
+#include "hyparview/analysis/table.hpp"
+#include "hyparview/harness/network.hpp"
+#include "hyparview/harness/scale.hpp"
+
+namespace hyparview::bench {
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const harness::BenchScale& scale) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("nodes=%zu messages=%zu runs=%zu seed=%llu%s\n",
+              scale.nodes, scale.messages, scale.runs,
+              static_cast<unsigned long long>(scale.seed),
+              scale.quick ? " (HPV_QUICK)" : "");
+  std::printf("Scale with HPV_NODES / HPV_MSGS / HPV_RUNS / HPV_SEED / HPV_QUICK=1.\n");
+  std::printf("==================================================================\n");
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Builds and stabilizes one network (the common §5 preamble).
+inline std::unique_ptr<harness::Network> stabilized_network(
+    harness::ProtocolKind kind, std::size_t nodes, std::uint64_t seed,
+    std::size_t cycles = 50) {
+  auto cfg = harness::NetworkConfig::defaults_for(kind, nodes, seed);
+  auto net = std::make_unique<harness::Network>(cfg);
+  net->build();
+  net->run_cycles(cycles);
+  return net;
+}
+
+}  // namespace hyparview::bench

@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark): protocol hot paths and substrate
+// throughput. These complement the figure drivers with per-operation costs.
+#include <benchmark/benchmark.h>
+
+#include "../tests/support/fake_env.hpp"
+#include "hyparview/baselines/cyclon.hpp"
+#include "hyparview/core/hyparview.hpp"
+#include "hyparview/membership/wire.hpp"
+#include "hyparview/sim/simulator.hpp"
+
+namespace hyparview {
+namespace {
+
+NodeId nid(std::uint32_t i) { return NodeId::from_index(i); }
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(35));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_RngSample(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<NodeId> pool;
+  for (std::uint32_t i = 0; i < 35; ++i) pool.push_back(nid(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.sample(pool, state.range(0)));
+  }
+}
+BENCHMARK(BM_RngSample)->Arg(4)->Arg(8)->Arg(14);
+
+void BM_WireEncodeGossip(benchmark::State& state) {
+  const wire::Message msg = wire::Gossip{0xABCD, 7, 128};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode_bytes(msg));
+  }
+}
+BENCHMARK(BM_WireEncodeGossip);
+
+void BM_WireRoundTripShuffle(benchmark::State& state) {
+  wire::Shuffle sh;
+  sh.origin = nid(1);
+  sh.ttl = 6;
+  for (std::uint32_t i = 0; i < 8; ++i) sh.entries.push_back(nid(i));
+  const wire::Message msg = sh;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode_bytes(wire::encode_bytes(msg)));
+  }
+}
+BENCHMARK(BM_WireRoundTripShuffle);
+
+void BM_WireEncodedSize(benchmark::State& state) {
+  // Per-send cost of the simulator's byte accounting: must stay far below
+  // an actual encode (no allocation).
+  wire::Shuffle sh;
+  sh.origin = nid(1);
+  sh.ttl = 6;
+  for (std::uint32_t i = 0; i < 8; ++i) sh.entries.push_back(nid(i));
+  const wire::Message msg = sh;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encoded_size(msg));
+  }
+}
+BENCHMARK(BM_WireEncodedSize);
+
+void BM_HyParViewWarmCacheRefresh(benchmark::State& state) {
+  test::FakeEnv env(nid(0));
+  core::Config cfg;
+  cfg.warm_cache_size = static_cast<std::size_t>(state.range(0));
+  core::HyParView proto(env, cfg);
+  for (std::uint32_t i = 0; i < cfg.active_capacity; ++i) {
+    proto.handle(nid(100 + i), wire::Join{});
+  }
+  std::vector<NodeId> entries;
+  for (std::uint32_t i = 0; i < 30; ++i) entries.push_back(nid(200 + i));
+  proto.handle(nid(99), wire::ShuffleReply{{}, entries});
+  for (auto _ : state) {
+    proto.on_cycle();
+    // Complete the dials so every iteration refreshes from a warm state.
+    for (std::size_t i = 0; i < env.connects.size(); ++i) {
+      if (!env.connects[i].completed) env.complete_connect(i, true);
+    }
+    env.clear();
+  }
+}
+BENCHMARK(BM_HyParViewWarmCacheRefresh)->Arg(0)->Arg(3)->Arg(6);
+
+void BM_HyParViewHandleJoin(benchmark::State& state) {
+  test::FakeEnv env(nid(0));
+  core::HyParView proto(env, core::Config{});
+  std::uint32_t next = 1;
+  for (auto _ : state) {
+    proto.handle(nid(next++ % 1000 + 1), wire::Join{});
+    env.sent.clear();
+  }
+}
+BENCHMARK(BM_HyParViewHandleJoin);
+
+void BM_HyParViewBroadcastTargets(benchmark::State& state) {
+  test::FakeEnv env(nid(0));
+  core::HyParView proto(env, core::Config{});
+  for (std::uint32_t i = 1; i <= 5; ++i) proto.handle(nid(i), wire::Join{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.broadcast_targets(4, nid(1)));
+  }
+}
+BENCHMARK(BM_HyParViewBroadcastTargets);
+
+void BM_HyParViewShuffleIntegration(benchmark::State& state) {
+  test::FakeEnv env(nid(0));
+  core::HyParView proto(env, core::Config{});
+  for (std::uint32_t i = 1; i <= 5; ++i) proto.handle(nid(i), wire::Join{});
+  std::uint32_t next = 10;
+  for (auto _ : state) {
+    wire::ShuffleReply reply;
+    for (int i = 0; i < 8; ++i) reply.entries.push_back(nid(next++));
+    proto.handle(nid(1), reply);
+    env.sent.clear();
+  }
+}
+BENCHMARK(BM_HyParViewShuffleIntegration);
+
+void BM_CyclonShuffleRound(benchmark::State& state) {
+  test::FakeEnv env(nid(0));
+  baselines::Cyclon proto(env, baselines::CyclonConfig{});
+  for (std::uint32_t i = 1; i <= 35; ++i) {
+    proto.handle(nid(99), wire::CyclonJoinGift{{nid(i), 0}});
+  }
+  for (auto _ : state) {
+    proto.on_cycle();
+    env.sent.clear();
+  }
+}
+BENCHMARK(BM_CyclonShuffleRound);
+
+void BM_CyclonBroadcastTargets(benchmark::State& state) {
+  test::FakeEnv env(nid(0));
+  baselines::Cyclon proto(env, baselines::CyclonConfig{});
+  for (std::uint32_t i = 1; i <= 35; ++i) {
+    proto.handle(nid(99), wire::CyclonJoinGift{{nid(i), 0}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.broadcast_targets(4, nid(1)));
+  }
+}
+BENCHMARK(BM_CyclonBroadcastTargets);
+
+/// Endpoint that drops everything: measures pure simulator throughput.
+class NullHandler final : public membership::Endpoint {
+ public:
+  void deliver(const NodeId&, const wire::Message&) override {}
+  void send_failed(const NodeId&, const wire::Message&) override {}
+  void link_closed(const NodeId&) override {}
+};
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  sim::SimConfig cfg;
+  sim::Simulator sim(cfg);
+  NullHandler handler;
+  const NodeId a = sim.add_node(&handler);
+  const NodeId b = sim.add_node(&handler);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 1000; ++i) {
+      sim.env(a).send(b, wire::Gossip{static_cast<std::uint64_t>(i), 0, 0});
+    }
+    state.ResumeTiming();
+    sim.run_until_quiescent();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+}  // namespace hyparview
+
+BENCHMARK_MAIN();

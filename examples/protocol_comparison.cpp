@@ -1,0 +1,71 @@
+// Side-by-side comparison of all four membership protocols on the same
+// scenario: stabilize, crash half the network, measure the next 50
+// broadcasts — a miniature of the paper's Figure 2/3 story.
+//
+//   $ ./protocol_comparison [--nodes=1000] [--kill=0.5] [--msgs=50] [--seed=3]
+#include <cstdio>
+
+#include "hyparview/analysis/table.hpp"
+#include "hyparview/common/options.hpp"
+#include "hyparview/harness/network.hpp"
+
+using namespace hyparview;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 1000));
+  const double kill = args.get_double("kill", 0.5);
+  const auto msgs = static_cast<std::size_t>(args.get_int("msgs", 50));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  std::printf("scenario: %zu nodes, stabilize, crash %.0f%%, send %zu "
+              "messages\n\n",
+              nodes, kill * 100, msgs);
+
+  analysis::Table table({"protocol", "dissemination", "stable rel.",
+                         "post-crash rel.", "msg#1 rel.", "final rel."});
+
+  for (const auto kind : harness::all_protocol_kinds()) {
+    auto config = harness::NetworkConfig::defaults_for(kind, nodes, seed);
+    harness::Network net(config);
+    net.build();
+    net.run_cycles(10);
+
+    double stable = 0.0;
+    for (int i = 0; i < 10; ++i) stable += net.broadcast_one().reliability();
+    stable /= 10;
+
+    net.fail_random_fraction(kill);
+    double post_sum = 0.0;
+    double first = 0.0;
+    double last = 0.0;
+    for (std::size_t m = 0; m < msgs; ++m) {
+      const double r = net.broadcast_one().reliability();
+      if (m == 0) first = r;
+      last = r;
+      post_sum += r;
+    }
+
+    const char* dissemination =
+        kind == harness::ProtocolKind::kHyParView
+            ? "flood active view"
+            : (kind == harness::ProtocolKind::kCyclonAcked
+                   ? "fanout-4 + acks"
+                   : "fanout-4 gossip");
+    const auto pct = [](double v) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100);
+      return std::string(buf);
+    };
+    table.add_row({harness::kind_name(kind), dissemination, pct(stable),
+                   pct(post_sum / static_cast<double>(msgs)), pct(first),
+                   pct(last)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("reading: HyParView's flood plus TCP failure detection keeps "
+              "reliability at ~100%% through the crash; CyclonAcked recovers "
+              "as acks purge dead entries; plain Cyclon/Scamp stay degraded "
+              "until their periodic mechanisms run.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "hyparview/analysis/broadcast_recorder.hpp"
+
+#include <algorithm>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview::analysis {
+
+void BroadcastRecorder::begin_message(std::uint64_t msg_id,
+                                      std::size_t alive_nodes) {
+  HPV_CHECK(!index_.contains(msg_id));
+  index_.emplace(msg_id, results_.size());
+  MessageResult r;
+  r.msg_id = msg_id;
+  r.alive_nodes = alive_nodes;
+  results_.push_back(r);
+}
+
+void BroadcastRecorder::on_deliver(const NodeId& /*node*/,
+                                   std::uint64_t msg_id, std::uint16_t hops) {
+  const auto it = index_.find(msg_id);
+  if (it == index_.end()) return;  // unregistered traffic (warmup etc.)
+  MessageResult& r = results_[it->second];
+  ++r.delivered;
+  r.hop_sum += hops;
+  r.max_hops = std::max(r.max_hops, hops);
+}
+
+void BroadcastRecorder::on_duplicate(const NodeId& /*node*/,
+                                     std::uint64_t msg_id) {
+  const auto it = index_.find(msg_id);
+  if (it == index_.end()) return;
+  ++results_[it->second].duplicates;
+}
+
+const MessageResult& BroadcastRecorder::result(std::uint64_t msg_id) const {
+  const auto it = index_.find(msg_id);
+  HPV_CHECK(it != index_.end());
+  return results_[it->second];
+}
+
+double BroadcastRecorder::average_reliability() const {
+  if (results_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : results_) sum += r.reliability();
+  return sum / static_cast<double>(results_.size());
+}
+
+double BroadcastRecorder::average_max_hops() const {
+  if (results_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : results_) sum += r.max_hops;
+  return sum / static_cast<double>(results_.size());
+}
+
+std::uint64_t BroadcastRecorder::total_duplicates() const {
+  std::uint64_t total = 0;
+  for (const auto& r : results_) total += r.duplicates;
+  return total;
+}
+
+void BroadcastRecorder::clear() {
+  index_.clear();
+  results_.clear();
+}
+
+}  // namespace hyparview::analysis

@@ -1,0 +1,65 @@
+// Network-wide broadcast delivery accounting.
+//
+// The harness installs one recorder as the DeliveryObserver of every node's
+// gossip engine; per message it tracks first deliveries, hop counts and
+// duplicates, yielding the paper's reliability metric (§2.5: percentage of
+// *active* nodes that deliver).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hyparview/gossip/gossip_engine.hpp"
+
+namespace hyparview::analysis {
+
+struct MessageResult {
+  std::uint64_t msg_id = 0;
+  std::size_t delivered = 0;      ///< distinct nodes that delivered
+  std::size_t alive_nodes = 0;    ///< correct nodes when the message was sent
+  std::uint16_t max_hops = 0;     ///< last-delivery distance from the source
+  std::uint64_t hop_sum = 0;      ///< for average-hops metrics
+  std::uint64_t duplicates = 0;
+
+  /// Gossip reliability (§2.5): delivered / alive.
+  [[nodiscard]] double reliability() const {
+    return alive_nodes == 0
+               ? 0.0
+               : static_cast<double>(delivered) /
+                     static_cast<double>(alive_nodes);
+  }
+};
+
+class BroadcastRecorder final : public gossip::DeliveryObserver {
+ public:
+  /// Starts accounting for msg_id; `alive_nodes` is the reliability
+  /// denominator (correct processes at send time).
+  void begin_message(std::uint64_t msg_id, std::size_t alive_nodes);
+
+  void on_deliver(const NodeId& node, std::uint64_t msg_id,
+                  std::uint16_t hops) override;
+  void on_duplicate(const NodeId& node, std::uint64_t msg_id) override;
+
+  [[nodiscard]] const std::vector<MessageResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] const MessageResult& result(std::uint64_t msg_id) const;
+
+  /// Mean reliability over every recorded message.
+  [[nodiscard]] double average_reliability() const;
+
+  /// Mean over messages of the per-message max hop count (Table 1 column
+  /// "maximum hops to delivery").
+  [[nodiscard]] double average_max_hops() const;
+
+  [[nodiscard]] std::uint64_t total_duplicates() const;
+
+  void clear();
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<MessageResult> results_;
+};
+
+}  // namespace hyparview::analysis

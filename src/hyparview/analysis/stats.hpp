@@ -1,0 +1,30 @@
+// Descriptive statistics and small formatting helpers for experiment output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hyparview::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// p in [0,100]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Fixed-precision formatting ("%.*f").
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// "12.3%" given a fraction in [0,1].
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace hyparview::analysis

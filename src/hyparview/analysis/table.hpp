@@ -1,0 +1,31 @@
+// Aligned-column table / CSV output for benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hyparview::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Markdown-style table with aligned columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated values (same data, machine-readable).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hyparview::analysis

@@ -1,0 +1,236 @@
+#include "hyparview/baselines/cyclon.hpp"
+
+#include <algorithm>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/common/logging.hpp"
+
+namespace hyparview::baselines {
+
+void CyclonConfig::validate() const {
+  HPV_CHECK_THROW(view_capacity >= 1, "cyclon view capacity must be >= 1");
+  HPV_CHECK_THROW(shuffle_length >= 1, "cyclon shuffle length must be >= 1");
+  HPV_CHECK_THROW(shuffle_length <= view_capacity + 1,
+                  "cyclon shuffle length must not exceed view capacity + 1");
+}
+
+Cyclon::Cyclon(membership::Env& env, CyclonConfig config)
+    : env_(env), config_(config) {
+  config_.validate();
+  view_.reserve(config_.view_capacity + 1);
+}
+
+void Cyclon::start(std::optional<NodeId> contact) {
+  if (!contact.has_value() || *contact == self()) return;
+  // The introducer fires the in-degree-preserving join walks on our behalf;
+  // our view fills with the entries displaced at the walk ends. The joiner
+  // does NOT keep the introducer — that is what keeps in-degrees unchanged
+  // even when a single contact bootstraps the whole overlay (§5).
+  env_.send(*contact, wire::CyclonJoinWalk{self(), config_.join_walk_ttl});
+}
+
+void Cyclon::handle(const NodeId& from, const wire::Message& msg) {
+  if (const auto* jw = std::get_if<wire::CyclonJoinWalk>(&msg)) {
+    handle_join_walk(from, *jw);
+  } else if (const auto* sh = std::get_if<wire::CyclonShuffle>(&msg)) {
+    handle_shuffle(from, *sh);
+  } else if (const auto* sr = std::get_if<wire::CyclonShuffleReply>(&msg)) {
+    handle_shuffle_reply(from, *sr);
+  } else if (const auto* gift = std::get_if<wire::CyclonJoinGift>(&msg)) {
+    ++stats_.gifts_received;
+    if (gift->entry.id != self() && !in_view(gift->entry.id) &&
+        view_.size() < config_.view_capacity) {
+      view_.push_back(gift->entry);
+    }
+  } else {
+    HPV_LOG_DEBUG("cyclon %s: ignoring %s", self().to_string().c_str(),
+                  wire::type_name(msg));
+  }
+}
+
+void Cyclon::handle_join_walk(const NodeId& sender,
+                              const wire::CyclonJoinWalk& m) {
+  if (m.new_node == self()) return;
+  if (sender == m.new_node) {
+    // We are the introducer: launch the walks (one per view slot of the
+    // joiner, so its view fills with displaced entries).
+    const std::size_t walks =
+        config_.join_walks > 0 ? config_.join_walks : config_.view_capacity;
+    if (view_.empty()) {
+      // Two-node system bootstrap: adopt the joiner directly.
+      terminate_join_walk(m.new_node);
+      return;
+    }
+    for (std::size_t i = 0; i < walks; ++i) {
+      const wire::AgedId& target =
+          view_[static_cast<std::size_t>(env_.rng().below(view_.size()))];
+      env_.send(target.id, wire::CyclonJoinWalk{m.new_node, m.ttl});
+    }
+    return;
+  }
+  if (m.ttl == 0 || view_.empty()) {
+    terminate_join_walk(m.new_node);
+    return;
+  }
+  const wire::AgedId& next =
+      view_[static_cast<std::size_t>(env_.rng().below(view_.size()))];
+  env_.send(next.id, wire::CyclonJoinWalk{
+                         m.new_node, static_cast<std::uint8_t>(m.ttl - 1)});
+}
+
+void Cyclon::terminate_join_walk(const NodeId& new_node) {
+  if (new_node == self()) return;
+  ++stats_.join_walks_terminated;
+  if (in_view(new_node)) return;
+  if (view_.size() < config_.view_capacity) {
+    // Young overlay: adopt the joiner and gift a fresh self entry so its
+    // view is never left empty (two-node bootstrap).
+    view_.push_back(wire::AgedId{new_node, 0});
+    env_.send(new_node, wire::CyclonJoinGift{wire::AgedId{self(), 0}});
+    return;
+  }
+  // Swap a random entry for the joiner; gift the displaced entry so the
+  // joiner builds its own view. This keeps every in-degree unchanged.
+  const std::size_t idx =
+      static_cast<std::size_t>(env_.rng().below(view_.size()));
+  const wire::AgedId displaced = view_[idx];
+  view_[idx] = wire::AgedId{new_node, 0};
+  if (displaced.id != new_node) {
+    env_.send(new_node, wire::CyclonJoinGift{displaced});
+  }
+}
+
+void Cyclon::on_cycle() {
+  for (auto& entry : view_) ++entry.age;
+  pending_shuffle_.reset();
+  initiate_shuffle();
+}
+
+void Cyclon::initiate_shuffle() {
+  if (view_.empty()) return;
+  // 1. Pick the oldest peer Q and remove it from the view.
+  std::size_t oldest = 0;
+  for (std::size_t i = 1; i < view_.size(); ++i) {
+    if (view_[i].age > view_[oldest].age) oldest = i;
+  }
+  const NodeId target = view_[oldest].id;
+  view_[oldest] = view_.back();
+  view_.pop_back();
+
+  // 2. Sample l-1 other entries and prepend a fresh self entry.
+  std::vector<wire::AgedId> shipped =
+      env_.rng().sample(view_, config_.shuffle_length - 1);
+  std::vector<wire::AgedId> outgoing;
+  outgoing.reserve(shipped.size() + 1);
+  outgoing.push_back(wire::AgedId{self(), 0});
+  outgoing.insert(outgoing.end(), shipped.begin(), shipped.end());
+
+  ++stats_.shuffles_initiated;
+  pending_shuffle_ = std::move(shipped);
+  env_.send(target, wire::CyclonShuffle{std::move(outgoing)});
+}
+
+void Cyclon::handle_shuffle(const NodeId& from, const wire::CyclonShuffle& m) {
+  ++stats_.shuffles_answered;
+  // Answer with a random sample of our own view (no fresh self entry).
+  std::vector<wire::AgedId> reply =
+      env_.rng().sample(view_, std::min(config_.shuffle_length, m.entries.size()));
+  env_.send(from, wire::CyclonShuffleReply{reply});
+  integrate(m.entries, std::move(reply));
+}
+
+void Cyclon::handle_shuffle_reply(const NodeId& /*from*/,
+                                  const wire::CyclonShuffleReply& m) {
+  std::vector<wire::AgedId> shipped;
+  if (pending_shuffle_.has_value()) {
+    shipped = std::move(*pending_shuffle_);
+    pending_shuffle_.reset();
+  }
+  integrate(m.entries, std::move(shipped));
+}
+
+void Cyclon::integrate(const std::vector<wire::AgedId>& received,
+                       std::vector<wire::AgedId> shipped) {
+  for (const auto& entry : received) {
+    if (entry.id == self() || in_view(entry.id)) continue;
+    if (view_.size() < config_.view_capacity) {
+      view_.push_back(entry);
+      continue;
+    }
+    // Replace one of the entries we shipped to the peer, if any remain.
+    bool replaced = false;
+    while (!shipped.empty() && !replaced) {
+      const NodeId victim = shipped.back().id;
+      shipped.pop_back();
+      const auto it =
+          std::find_if(view_.begin(), view_.end(),
+                       [&](const wire::AgedId& e) { return e.id == victim; });
+      if (it != view_.end()) {
+        *it = entry;
+        replaced = true;
+      }
+    }
+    // View full and nothing left to replace: drop the received entry.
+  }
+}
+
+std::vector<NodeId> Cyclon::broadcast_targets(std::size_t fanout,
+                                              const NodeId& from) {
+  std::vector<NodeId> candidates;
+  candidates.reserve(view_.size());
+  for (const auto& entry : view_) {
+    if (entry.id != from) candidates.push_back(entry.id);
+  }
+  return env_.rng().sample(candidates, fanout);
+}
+
+void Cyclon::peer_unreachable(const NodeId& peer) {
+  if (!config_.purge_on_unreachable) return;  // plain Cyclon: no detector
+  if (remove_entry(peer)) ++stats_.entries_purged;
+}
+
+void Cyclon::on_send_failed(const NodeId& to, const wire::Message& msg) {
+  if (std::holds_alternative<wire::CyclonShuffle>(msg)) {
+    // The shuffle target is dead. Its entry was already removed when the
+    // shuffle started; Cyclon moves on to the next oldest peer.
+    pending_shuffle_.reset();
+    if (config_.shuffle_retry_on_failure) initiate_shuffle();
+    return;
+  }
+  // Other membership traffic (walks, gifts, replies): plain Cyclon gossips
+  // over an unreliable channel and never learns of these losses; only the
+  // acked variant purges the destination.
+  if (config_.purge_on_unreachable && remove_entry(to)) {
+    ++stats_.entries_purged;
+  }
+}
+
+void Cyclon::on_link_closed(const NodeId& peer) {
+  if (remove_entry(peer)) ++stats_.entries_purged;
+}
+
+std::vector<NodeId> Cyclon::dissemination_view() const {
+  std::vector<NodeId> ids;
+  ids.reserve(view_.size());
+  for (const auto& entry : view_) ids.push_back(entry.id);
+  return ids;
+}
+
+std::vector<NodeId> Cyclon::backup_view() const { return {}; }
+
+bool Cyclon::in_view(const NodeId& node) const {
+  return std::any_of(view_.begin(), view_.end(),
+                     [&](const wire::AgedId& e) { return e.id == node; });
+}
+
+bool Cyclon::remove_entry(const NodeId& node) {
+  const auto it =
+      std::find_if(view_.begin(), view_.end(),
+                   [&](const wire::AgedId& e) { return e.id == node; });
+  if (it == view_.end()) return false;
+  *it = view_.back();
+  view_.pop_back();
+  return true;
+}
+
+}  // namespace hyparview::baselines

@@ -1,0 +1,209 @@
+#include "hyparview/baselines/scamp.hpp"
+
+#include <algorithm>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/common/logging.hpp"
+
+namespace hyparview::baselines {
+
+void ScampConfig::validate() const {
+  HPV_CHECK_THROW(forward_ttl >= 1, "scamp forward TTL must be >= 1");
+  HPV_CHECK_THROW(isolation_timeout_cycles >= 1,
+                  "scamp isolation timeout must be >= 1 cycle");
+}
+
+Scamp::Scamp(membership::Env& env, ScampConfig config)
+    : env_(env), config_(config) {
+  config_.validate();
+}
+
+void Scamp::start(std::optional<NodeId> contact) {
+  started_ = true;
+  if (!contact.has_value() || *contact == self()) return;
+  // "Its PartialView initially consists of its contact."
+  partial_view_.push_back(*contact);
+  env_.send(*contact, wire::ScampSubscribe{self()});
+}
+
+void Scamp::handle(const NodeId& from, const wire::Message& msg) {
+  if (const auto* sub = std::get_if<wire::ScampSubscribe>(&msg)) {
+    handle_subscribe(from, *sub);
+  } else if (const auto* fwd = std::get_if<wire::ScampForwardedSub>(&msg)) {
+    handle_forwarded_sub(*fwd);
+  } else if (std::holds_alternative<wire::ScampInViewNotify>(msg)) {
+    if (from != self() &&
+        std::find(in_view_.begin(), in_view_.end(), from) == in_view_.end()) {
+      in_view_.push_back(from);
+    }
+  } else if (const auto* rep = std::get_if<wire::ScampReplace>(&msg)) {
+    handle_replace(from, *rep);
+  } else if (std::holds_alternative<wire::ScampHeartbeat>(msg)) {
+    cycles_since_heartbeat_ = 0;
+  } else {
+    HPV_LOG_DEBUG("scamp %s: ignoring %s", self().to_string().c_str(),
+                  wire::type_name(msg));
+  }
+}
+
+void Scamp::handle_subscribe(const NodeId& /*from*/,
+                             const wire::ScampSubscribe& m) {
+  if (m.subscriber == self()) return;
+  ++stats_.subscriptions_handled;
+  // start() makes the subscriber adopt its contact as the first
+  // PartialView entry, so receiving a subscription *is* the in-edge
+  // announcement — record it or our own unsubscription cannot reach this
+  // holder later.
+  if (std::find(in_view_.begin(), in_view_.end(), m.subscriber) ==
+      in_view_.end()) {
+    in_view_.push_back(m.subscriber);
+  }
+  if (partial_view_.empty()) {
+    // Bootstrap contact without a view yet: adopt the subscriber directly.
+    keep_subscription(m.subscriber);
+    return;
+  }
+  // Forward the new id to every PartialView member, plus c extra copies to
+  // random members (the fault-tolerance redundancy).
+  for (const NodeId& n : partial_view_) {
+    env_.send(n, wire::ScampForwardedSub{m.subscriber, config_.forward_ttl});
+  }
+  for (std::size_t i = 0; i < config_.c; ++i) {
+    const NodeId& n = env_.rng().pick(partial_view_);
+    env_.send(n, wire::ScampForwardedSub{m.subscriber, config_.forward_ttl});
+  }
+}
+
+void Scamp::handle_forwarded_sub(const wire::ScampForwardedSub& m) {
+  // Keep with probability 1/(1+|PartialView|); integrate unconditionally if
+  // the view is empty. A copy that randomly walked onto the subscriber
+  // itself is re-forwarded, never counted as kept — dropping it would bleed
+  // subscription copies and shrink views below the (c+1)·ln(n) target.
+  const bool keep =
+      m.subscriber != self() && !in_partial(m.subscriber) &&
+      (partial_view_.empty() ||
+       env_.rng().chance(1.0 / (1.0 + static_cast<double>(partial_view_.size()))));
+  if (keep) {
+    keep_subscription(m.subscriber);
+    return;
+  }
+  if (m.ttl == 0 || partial_view_.empty()) {
+    ++stats_.forwarded_subs_dropped;
+    return;
+  }
+  ++stats_.forwarded_subs_relayed;
+  const NodeId& n = env_.rng().pick(partial_view_);
+  env_.send(n, wire::ScampForwardedSub{
+                   m.subscriber, static_cast<std::uint16_t>(m.ttl - 1)});
+}
+
+void Scamp::keep_subscription(const NodeId& subscriber) {
+  if (subscriber == self() || in_partial(subscriber)) return;
+  ++stats_.forwarded_subs_kept;
+  partial_view_.push_back(subscriber);
+  env_.send(subscriber, wire::ScampInViewNotify{});
+}
+
+void Scamp::handle_replace(const NodeId& from, const wire::ScampReplace& m) {
+  erase_value(in_view_, from);  // the unsubscriber leaves our InView callers
+  if (!erase_value(partial_view_, m.old_id)) return;
+  if (m.replacement != kNoNode && m.replacement != self() &&
+      !in_partial(m.replacement)) {
+    partial_view_.push_back(m.replacement);
+    env_.send(m.replacement, wire::ScampInViewNotify{});
+  }
+}
+
+void Scamp::unsubscribe() {
+  // Tell InView members to patch their PartialViews with our own members;
+  // keep c+1 of them unreplaced so views shrink with the system.
+  const std::size_t keep_unreplaced = std::min(in_view_.size(), config_.c + 1);
+  const std::size_t replaced = in_view_.size() - keep_unreplaced;
+  for (std::size_t i = 0; i < in_view_.size(); ++i) {
+    NodeId replacement = kNoNode;
+    if (i < replaced && !partial_view_.empty()) {
+      replacement = partial_view_[i % partial_view_.size()];
+      if (replacement == in_view_[i]) replacement = kNoNode;
+    }
+    env_.send(in_view_[i], wire::ScampReplace{self(), replacement});
+  }
+  partial_view_.clear();
+  in_view_.clear();
+  started_ = false;
+}
+
+void Scamp::on_cycle() {
+  if (!started_) return;
+  ++cycle_count_;
+
+  if (config_.heartbeat_period_cycles > 0 &&
+      cycle_count_ % config_.heartbeat_period_cycles == 0) {
+    for (const NodeId& n : partial_view_) {
+      env_.send(n, wire::ScampHeartbeat{});
+    }
+    ++cycles_since_heartbeat_;
+    if (cycles_since_heartbeat_ > config_.isolation_timeout_cycles) {
+      // Nobody points at us anymore: rejoin through someone we still know.
+      ++stats_.isolation_recoveries;
+      cycles_since_heartbeat_ = 0;
+      resubscribe();
+    }
+  }
+
+  if (config_.lease_cycles > 0 && cycle_count_ % config_.lease_cycles == 0) {
+    resubscribe();
+  }
+}
+
+void Scamp::resubscribe() {
+  if (partial_view_.empty()) return;
+  ++stats_.resubscriptions;
+  env_.send(env_.rng().pick(partial_view_), wire::ScampSubscribe{self()});
+}
+
+std::vector<NodeId> Scamp::broadcast_targets(std::size_t fanout,
+                                             const NodeId& from) {
+  std::vector<NodeId> candidates;
+  candidates.reserve(partial_view_.size());
+  for (const NodeId& n : partial_view_) {
+    if (n != from) candidates.push_back(n);
+  }
+  return env_.rng().sample(candidates, fanout);
+}
+
+void Scamp::peer_unreachable(const NodeId& peer) {
+  if (!config_.purge_on_unreachable) return;  // plain Scamp: no detector
+  erase_value(partial_view_, peer);
+  erase_value(in_view_, peer);
+}
+
+void Scamp::on_send_failed(const NodeId& to, const wire::Message& msg) {
+  (void)msg;
+  if (!config_.purge_on_unreachable) return;
+  erase_value(partial_view_, to);
+  erase_value(in_view_, to);
+}
+
+void Scamp::on_link_closed(const NodeId& peer) {
+  erase_value(partial_view_, peer);
+  erase_value(in_view_, peer);
+}
+
+std::vector<NodeId> Scamp::dissemination_view() const { return partial_view_; }
+
+std::vector<NodeId> Scamp::backup_view() const { return in_view_; }
+
+bool Scamp::in_partial(const NodeId& node) const {
+  return std::find(partial_view_.begin(), partial_view_.end(), node) !=
+         partial_view_.end();
+}
+
+bool Scamp::erase_value(std::vector<NodeId>& v, const NodeId& node) {
+  const auto it = std::find(v.begin(), v.end(), node);
+  if (it == v.end()) return false;
+  *it = v.back();
+  v.pop_back();
+  return true;
+}
+
+}  // namespace hyparview::baselines

@@ -1,0 +1,116 @@
+// Scamp membership protocol (Ganesh, Kermarrec, Massoulié; NGC 2001 / IEEE
+// ToC 2003), the reactive-strategy baseline of the paper's evaluation (§5).
+//
+// Scamp grows PartialViews of expected size (c+1)·log(n) without any node
+// knowing n. A new subscription reaching a node is forwarded to all of that
+// node's PartialView plus c extra random copies; every forwarded copy is
+// integrated by the node it reaches with probability 1/(1+|PartialView|) and
+// forwarded onward otherwise. Nodes track an InView (who has them in their
+// PartialView) to support unsubscription and isolation recovery:
+//  * lease: subscriptions expire after `lease_cycles`; nodes resubscribe
+//    through a random PartialView member (this is why Scamp is "not purely
+//    reactive", §2.2 footnote);
+//  * heartbeat: nodes send periodic heartbeats along PartialView edges; a
+//    node that hears none for `isolation_timeout_cycles` assumes isolation
+//    and resubscribes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/membership/env.hpp"
+#include "hyparview/membership/protocol.hpp"
+
+namespace hyparview::baselines {
+
+struct ScampConfig {
+  /// Fault-tolerance parameter c: extra subscription copies (paper: 4).
+  std::size_t c = 4;
+  /// Loop guard for forwarded subscriptions (generous; drops are counted).
+  std::uint16_t forward_ttl = 256;
+  /// Resubscribe every this many cycles (0 = lease disabled; the paper's
+  /// experiments run "before the lease time of Scamp expires").
+  std::size_t lease_cycles = 0;
+  /// Send heartbeats along PartialView edges every this many cycles
+  /// (0 = disabled).
+  std::size_t heartbeat_period_cycles = 1;
+  /// Cycles without any heartbeat before assuming isolation & resubscribing.
+  std::size_t isolation_timeout_cycles = 10;
+  /// Purge unreachable peers reported by the gossip layer (off: plain Scamp).
+  bool purge_on_unreachable = false;
+
+  void validate() const;
+};
+
+struct ScampStats {
+  std::uint64_t subscriptions_handled = 0;
+  std::uint64_t forwarded_subs_kept = 0;
+  std::uint64_t forwarded_subs_relayed = 0;
+  std::uint64_t forwarded_subs_dropped = 0;  ///< TTL exhausted (loop guard)
+  std::uint64_t resubscriptions = 0;         ///< lease + isolation recovery
+  std::uint64_t isolation_recoveries = 0;
+};
+
+class Scamp final : public membership::Protocol {
+ public:
+  Scamp(membership::Env& env, ScampConfig config);
+
+  // --- membership::Protocol --------------------------------------------------
+  void start(std::optional<NodeId> contact) override;
+  void handle(const NodeId& from, const wire::Message& msg) override;
+  void on_send_failed(const NodeId& to, const wire::Message& msg) override;
+  void on_link_closed(const NodeId& peer) override;
+  void on_cycle() override;
+  [[nodiscard]] std::vector<NodeId> broadcast_targets(
+      std::size_t fanout, const NodeId& from) override;
+  void peer_unreachable(const NodeId& peer) override;
+  [[nodiscard]] std::vector<NodeId> dissemination_view() const override;
+  [[nodiscard]] std::vector<NodeId> backup_view() const override;
+  [[nodiscard]] const char* name() const override { return "scamp"; }
+
+  /// Graceful departure (§ unsubscription): InView members are told to
+  /// replace us with our PartialView members; c+1 of them simply drop us so
+  /// view sizes shrink as the system does.
+  void unsubscribe();
+
+  void leave() override { unsubscribe(); }
+
+  // --- Introspection ---------------------------------------------------------
+  [[nodiscard]] const std::vector<NodeId>& partial_view() const {
+    return partial_view_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& in_view() const { return in_view_; }
+  [[nodiscard]] const ScampStats& stats() const { return stats_; }
+  [[nodiscard]] const ScampConfig& config() const { return config_; }
+
+ private:
+  void handle_subscribe(const NodeId& from, const wire::ScampSubscribe& m);
+  void handle_forwarded_sub(const wire::ScampForwardedSub& m);
+  void handle_replace(const NodeId& from, const wire::ScampReplace& m);
+
+  /// Integrates `subscriber` into the PartialView and notifies it so it can
+  /// maintain its InView.
+  void keep_subscription(const NodeId& subscriber);
+
+  void resubscribe();
+
+  [[nodiscard]] bool in_partial(const NodeId& node) const;
+  [[nodiscard]] NodeId self() const { return env_.self(); }
+
+  static bool erase_value(std::vector<NodeId>& v, const NodeId& node);
+
+  membership::Env& env_;
+  ScampConfig config_;
+  std::vector<NodeId> partial_view_;
+  std::vector<NodeId> in_view_;
+
+  std::size_t cycle_count_ = 0;
+  std::size_t cycles_since_heartbeat_ = 0;
+  bool started_ = false;
+
+  ScampStats stats_;
+};
+
+}  // namespace hyparview::baselines

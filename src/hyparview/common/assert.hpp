@@ -1,0 +1,54 @@
+// Contract-check macros used across the library.
+//
+// HPV_ASSERT is compiled out in NDEBUG builds and guards internal invariants;
+// HPV_CHECK is always on and guards conditions that depend on caller input or
+// external state (config files, wire data, sockets).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hyparview {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+/// Thrown by HPV_CHECK_THROW-style validations of external input.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace hyparview
+
+#define HPV_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::hyparview::contract_failure("HPV_CHECK", #expr, __FILE__,      \
+                                    __LINE__);                         \
+    }                                                                  \
+  } while (0)
+
+#define HPV_CHECK_THROW(expr, msg)                 \
+  do {                                             \
+    if (!(expr)) {                                 \
+      throw ::hyparview::CheckError(msg);          \
+    }                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define HPV_ASSERT(expr) ((void)0)
+#else
+#define HPV_ASSERT(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hyparview::contract_failure("HPV_ASSERT", #expr, __FILE__,      \
+                                    __LINE__);                          \
+    }                                                                   \
+  } while (0)
+#endif

@@ -1,0 +1,58 @@
+#include "hyparview/common/logging.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+
+namespace hyparview {
+namespace {
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(text, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(text, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(text, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(text, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(text, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{-1};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(parse_level(std::getenv("HPV_LOG")));
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_write(LogLevel level, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[hpv %s] %s\n", level_tag(level), buf);
+}
+
+}  // namespace hyparview

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Hot paths guard every call with `if (log_enabled(level))` so disabled
+// logging costs a single predictable branch. The level is read once from the
+// HPV_LOG environment variable (error|warn|info|debug|trace) and defaults to
+// warn.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hyparview {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Global log level, initialized from HPV_LOG on first use.
+[[nodiscard]] LogLevel log_level();
+
+/// Overrides the global level (tests).
+void set_log_level(LogLevel level);
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// printf-style log statement; prepends level tag and newline-terminates.
+void log_write(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace hyparview
+
+#define HPV_LOG(level, ...)                          \
+  do {                                               \
+    if (::hyparview::log_enabled(level)) {           \
+      ::hyparview::log_write(level, __VA_ARGS__);    \
+    }                                                \
+  } while (0)
+
+#define HPV_LOG_ERROR(...) HPV_LOG(::hyparview::LogLevel::kError, __VA_ARGS__)
+#define HPV_LOG_WARN(...) HPV_LOG(::hyparview::LogLevel::kWarn, __VA_ARGS__)
+#define HPV_LOG_INFO(...) HPV_LOG(::hyparview::LogLevel::kInfo, __VA_ARGS__)
+#define HPV_LOG_DEBUG(...) HPV_LOG(::hyparview::LogLevel::kDebug, __VA_ARGS__)
+#define HPV_LOG_TRACE(...) HPV_LOG(::hyparview::LogLevel::kTrace, __VA_ARGS__)

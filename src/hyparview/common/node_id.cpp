@@ -1,0 +1,41 @@
+#include "hyparview/common/node_id.hpp"
+
+#include <cstdio>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview {
+
+std::string NodeId::to_string() const {
+  char buf[32];
+  if (port == 0) {
+    std::snprintf(buf, sizeof(buf), "#%u", ip);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xff,
+                  (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff, port);
+  }
+  return buf;
+}
+
+NodeId NodeId::parse(const std::string& text) {
+  HPV_CHECK_THROW(!text.empty(), "NodeId::parse: empty string");
+  if (text[0] == '#') {
+    char* end = nullptr;
+    const unsigned long idx = std::strtoul(text.c_str() + 1, &end, 10);
+    HPV_CHECK_THROW(end != nullptr && *end == '\0' && idx <= 0xFFFFFFFFul,
+                    "NodeId::parse: bad index form: " + text);
+    return from_index(static_cast<std::uint32_t>(idx));
+  }
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  unsigned d = 0;
+  unsigned p = 0;
+  const int got = std::sscanf(text.c_str(), "%u.%u.%u.%u:%u", &a, &b, &c, &d, &p);
+  HPV_CHECK_THROW(got == 5 && a < 256 && b < 256 && c < 256 && d < 256 && p < 65536,
+                  "NodeId::parse: bad address form: " + text);
+  return NodeId{(a << 24) | (b << 16) | (c << 8) | d,
+                static_cast<std::uint16_t>(p)};
+}
+
+}  // namespace hyparview

@@ -1,0 +1,53 @@
+// Node identifiers.
+//
+// A node is addressed by an (ipv4, port) pair, exactly as in the paper
+// ("typically, an identifier is a tuple (ip, port)").  The simulator uses
+// synthetic addresses where `ip` is the node index and `port` is 0; the TCP
+// transport uses real loopback/interface addresses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hyparview {
+
+struct NodeId {
+  std::uint32_t ip = 0;    ///< IPv4 address in host byte order (or sim index).
+  std::uint16_t port = 0;  ///< TCP listen port (0 for simulated nodes).
+
+  friend constexpr bool operator==(const NodeId&, const NodeId&) = default;
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+
+  /// Packs the id into a single integer; useful as a hash/map key.
+  [[nodiscard]] constexpr std::uint64_t raw() const {
+    return (static_cast<std::uint64_t>(ip) << 16) | port;
+  }
+
+  /// "a.b.c.d:port" for real addresses, "#index" for simulated ones.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses either the "#index" or the "a.b.c.d:port" form.
+  [[nodiscard]] static NodeId parse(const std::string& text);
+
+  /// Convenience constructor for simulator node indices.
+  [[nodiscard]] static constexpr NodeId from_index(std::uint32_t index) {
+    return NodeId{index, 0};
+  }
+};
+
+/// Sentinel "no node" value (index 0xFFFFFFFF, port 0xFFFF is never valid).
+inline constexpr NodeId kNoNode{0xFFFFFFFFu, 0xFFFFu};
+
+struct NodeIdHash {
+  std::size_t operator()(const NodeId& id) const noexcept {
+    // splitmix64 finalizer: cheap and well distributed for sequential ids.
+    std::uint64_t x = id.raw();
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace hyparview

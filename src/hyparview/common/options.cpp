@@ -1,0 +1,84 @@
+#include "hyparview/common/options.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hyparview {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const auto v = env_string(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const char* name, double fallback) {
+  const auto v = env_string(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const auto v = env_string(name);
+  if (!v) return fallback;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const char* body = arg + 2;
+    const char* eq = std::strchr(body, '=');
+    if (eq != nullptr) {
+      values_[std::string(body, static_cast<std::size_t>(eq - body))] = eq + 1;
+    } else {
+      values_[body] = "1";
+    }
+  }
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+}  // namespace hyparview

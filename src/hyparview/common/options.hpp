@@ -1,0 +1,43 @@
+// Environment-variable and command-line configuration helpers.
+//
+// Benches and examples read scale knobs (HPV_NODES, HPV_RUNS, ...) from the
+// environment so the same binaries serve quick smoke runs and paper-scale
+// reproductions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hyparview {
+
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+[[nodiscard]] double env_double(const char* name, double fallback);
+[[nodiscard]] bool env_flag(const char* name, bool fallback = false);
+
+/// Tiny `--key=value` / `--flag` parser for examples and benches.
+/// Positional arguments are collected in order.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hyparview

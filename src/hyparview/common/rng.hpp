@@ -1,0 +1,158 @@
+// Deterministic random number generation.
+//
+// Every experiment in the repo is reproducible from a single master seed.
+// The master seed is expanded with splitmix64 into independent per-node
+// streams (xoshiro256**), so results do not depend on the order in which
+// nodes happen to draw numbers relative to each other.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview {
+
+/// splitmix64: used for seeding and hashing, not as the main generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality generator for everything else.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    HPV_ASSERT(bound > 0);
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    HPV_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) { return unit() < p; }
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    HPV_ASSERT(!items.empty());
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher–Yates in-place shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[static_cast<std::size_t>(below(i))]);
+    }
+  }
+
+  /// Uniform sample of min(k, |items|) distinct elements, order randomized.
+  template <typename T>
+  std::vector<T> sample(std::span<const T> items, std::size_t k) {
+    std::vector<T> pool(items.begin(), items.end());
+    if (k >= pool.size()) {
+      shuffle(pool);
+      return pool;
+    }
+    // Partial Fisher–Yates: the first k slots end up a uniform sample.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(below(pool.size() - i));
+      using std::swap;
+      swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& items, std::size_t k) {
+    return sample(std::span<const T>(items), k);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+/// Derives the seed for stream `stream` of experiment `master`.
+/// Distinct (master, stream) pairs give statistically independent streams.
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t master,
+                                               std::uint64_t stream) {
+  SplitMix64 sm(master ^ (0xa0761d6478bd642full * (stream + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace hyparview

@@ -1,0 +1,21 @@
+// Time representation shared by the simulator and the TCP event loop.
+//
+// Simulated and wall-clock time are both expressed as microsecond ticks so
+// protocol code can be written once against the Env interface.
+#pragma once
+
+#include <cstdint>
+
+namespace hyparview {
+
+/// Microseconds since the start of the simulation / process epoch.
+using TimePoint = std::int64_t;
+
+/// Microsecond duration.
+using Duration = std::int64_t;
+
+inline constexpr Duration microseconds(std::int64_t n) { return n; }
+inline constexpr Duration milliseconds(std::int64_t n) { return n * 1000; }
+inline constexpr Duration seconds(std::int64_t n) { return n * 1000 * 1000; }
+
+}  // namespace hyparview

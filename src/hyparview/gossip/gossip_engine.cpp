@@ -1,0 +1,97 @@
+#include "hyparview/gossip/gossip_engine.hpp"
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview::gossip {
+
+GossipEngine::GossipEngine(membership::Env& env,
+                           membership::Protocol& protocol, GossipConfig config,
+                           DeliveryObserver* observer)
+    : env_(env), protocol_(protocol), config_(config), observer_(observer) {
+  HPV_CHECK(config_.dedup_window >= 1);
+}
+
+void GossipEngine::broadcast(std::uint64_t msg_id) {
+  wire::Gossip msg;
+  msg.msg_id = msg_id;
+  msg.hops = 0;
+  msg.payload_size = config_.payload_size;
+  if (!remember(msg_id)) return;  // already saw/originated this id
+  if (observer_ != nullptr) observer_->on_deliver(env_.self(), msg_id, 0);
+  forward(msg, kNoNode);
+  protocol_.on_traffic(kNoNode);
+}
+
+void GossipEngine::handle_gossip(const NodeId& from, const wire::Gossip& msg) {
+  if (config_.mode == Mode::kRandomFanoutAcked && config_.explicit_acks &&
+      from != kNoNode) {
+    // Every received copy is acknowledged (the sender's missing-ack timeout
+    // is what the transport's failure reporting stands in for).
+    env_.send(from, wire::GossipAck{msg.msg_id});
+  }
+  if (!remember(msg.msg_id)) {
+    ++duplicates_;
+    if (observer_ != nullptr) observer_->on_duplicate(env_.self(), msg.msg_id);
+    return;
+  }
+  if (observer_ != nullptr) {
+    observer_->on_deliver(env_.self(), msg.msg_id, msg.hops);
+  }
+  forward(msg, from);
+  // Only a deterministic flood implies "the sender considers me a
+  // neighbor"; random-fanout gossip legitimately arrives from strangers.
+  protocol_.on_traffic(config_.mode == Mode::kFlood ? from : kNoNode);
+}
+
+void GossipEngine::forward(const wire::Gossip& msg, const NodeId& exclude) {
+  const std::size_t fanout =
+      config_.mode == Mode::kFlood ? 0 : config_.fanout;
+  const std::vector<NodeId> targets =
+      protocol_.broadcast_targets(fanout, exclude);
+  wire::Gossip next = msg;
+  next.hops = static_cast<std::uint16_t>(msg.hops + 1);
+  for (const NodeId& t : targets) {
+    ++forwarded_;
+    env_.send(t, next);
+  }
+}
+
+void GossipEngine::on_send_failed(const NodeId& to, const wire::Gossip& msg) {
+  switch (config_.mode) {
+    case Mode::kRandomFanout:
+      // Unreliable-channel gossip: the loss goes unnoticed.
+      return;
+    case Mode::kFlood:
+    case Mode::kRandomFanoutAcked:
+      // The missing ack / broken connection is the failure detector.
+      protocol_.peer_unreachable(to);
+      break;
+  }
+  if (config_.reroute_on_failure) {
+    // Pick one substitute target; exclusion of already-contacted peers is
+    // best-effort (we exclude only the failed one).
+    const std::vector<NodeId> subst = protocol_.broadcast_targets(1, to);
+    if (!subst.empty()) {
+      ++forwarded_;
+      env_.send(subst.front(), msg);
+    }
+  }
+}
+
+bool GossipEngine::remember(std::uint64_t msg_id) {
+  if (seen_.contains(msg_id)) return false;
+  seen_.insert(msg_id);
+  seen_order_.push_back(msg_id);
+  if (seen_order_.size() > config_.dedup_window) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
+}
+
+void GossipEngine::reset() {
+  seen_.clear();
+  seen_order_.clear();
+}
+
+}  // namespace hyparview::gossip

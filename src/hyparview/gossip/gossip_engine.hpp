@@ -1,0 +1,114 @@
+// Gossip broadcast engine (the dissemination protocol measured in §5).
+//
+// A node forwards a message when it receives it for the first time — there is
+// no a priori bound on the number of gossip rounds, exactly as in the paper's
+// PeerSim broadcast protocol. Target selection is delegated to the membership
+// protocol:
+//
+//  * kFlood            — deterministic flood of the active view (HyParView);
+//                        transport failures feed back into the membership
+//                        protocol (TCP as failure detector).
+//  * kRandomFanout     — `fanout` random view members (Cyclon/Scamp over an
+//                        unreliable channel): delivery failures are invisible
+//                        to the membership layer.
+//  * kRandomFanoutAcked— like kRandomFanout but per-hop acknowledgements let
+//                        the sender purge dead targets (CyclonAcked).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/membership/env.hpp"
+#include "hyparview/membership/protocol.hpp"
+
+namespace hyparview::gossip {
+
+enum class Mode : std::uint8_t {
+  kFlood,
+  kRandomFanout,
+  kRandomFanoutAcked,
+};
+
+struct GossipConfig {
+  Mode mode = Mode::kFlood;
+  /// Gossip fanout t (ignored by kFlood, whose active view is fanout+1).
+  std::size_t fanout = 4;
+  /// Re-forward a message to a substitute target when a send fails. The
+  /// paper's protocols do NOT re-route (kept for ablation A3).
+  bool reroute_on_failure = false;
+  /// Ship a GossipAck frame for every gossip frame received in
+  /// kRandomFanoutAcked mode. Failure *detection* is always modeled through
+  /// the transport (a send to a dead peer fails back, i.e. "no ack came"),
+  /// so this flag only affects traffic accounting: enable it to charge the
+  /// CyclonAcked ack overhead in wire-cost experiments.
+  bool explicit_acks = false;
+  /// Synthetic payload size carried in each gossip frame.
+  std::uint32_t payload_size = 128;
+  /// Duplicate-suppression window (ids remembered per node). Experiments
+  /// send messages sequentially so a small window suffices; long-lived TCP
+  /// deployments should size this to their in-flight message horizon.
+  std::size_t dedup_window = 1024;
+};
+
+/// Observes deliveries network-wide (reliability accounting in the harness,
+/// application callbacks in real deployments).
+class DeliveryObserver {
+ public:
+  virtual ~DeliveryObserver() = default;
+  /// First delivery of `msg_id` at `node`, `hops` overlay hops from the
+  /// source (0 at the source itself).
+  virtual void on_deliver(const NodeId& node, std::uint64_t msg_id,
+                          std::uint16_t hops) = 0;
+  /// A duplicate copy arrived (redundancy accounting).
+  virtual void on_duplicate(const NodeId& node, std::uint64_t msg_id) {
+    (void)node;
+    (void)msg_id;
+  }
+};
+
+class GossipEngine {
+ public:
+  GossipEngine(membership::Env& env, membership::Protocol& protocol,
+               GossipConfig config, DeliveryObserver* observer);
+
+  /// Starts a broadcast at this node (delivers locally with hops = 0).
+  void broadcast(std::uint64_t msg_id);
+
+  /// Incoming gossip frame.
+  void handle_gossip(const NodeId& from, const wire::Gossip& msg);
+
+  /// A gossip frame we sent to `to` bounced (peer crashed).
+  void on_send_failed(const NodeId& to, const wire::Gossip& msg);
+
+  [[nodiscard]] std::uint64_t duplicates_received() const {
+    return duplicates_;
+  }
+  [[nodiscard]] std::uint64_t messages_forwarded() const { return forwarded_; }
+
+  /// Adjusts the gossip fanout at runtime (Figure 1 sweeps fanouts over one
+  /// stabilized overlay). Ignored by kFlood.
+  void set_fanout(std::size_t fanout) { config_.fanout = fanout; }
+  [[nodiscard]] std::size_t fanout() const { return config_.fanout; }
+
+  /// Drops the dedup history (between harness experiments).
+  void reset();
+
+ private:
+  void deliver_and_forward(const wire::Gossip& msg, const NodeId& exclude);
+  void forward(const wire::Gossip& msg, const NodeId& exclude);
+  [[nodiscard]] bool remember(std::uint64_t msg_id);
+
+  membership::Env& env_;
+  membership::Protocol& protocol_;
+  GossipConfig config_;
+  DeliveryObserver* observer_;
+
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> seen_order_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace hyparview::gossip

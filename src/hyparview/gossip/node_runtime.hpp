@@ -1,0 +1,58 @@
+// Per-node runtime: glues a membership protocol and a gossip engine to a
+// transport endpoint. Used by both the simulator harness and the TCP host.
+#pragma once
+
+#include <memory>
+
+#include "hyparview/gossip/gossip_engine.hpp"
+#include "hyparview/membership/endpoint.hpp"
+#include "hyparview/membership/env.hpp"
+#include "hyparview/membership/protocol.hpp"
+
+namespace hyparview::gossip {
+
+class NodeRuntime final : public membership::Endpoint {
+ public:
+  NodeRuntime(membership::Env& env,
+              std::unique_ptr<membership::Protocol> protocol,
+              GossipConfig gossip_config, DeliveryObserver* observer)
+      : protocol_(std::move(protocol)),
+        gossip_(env, *protocol_, gossip_config, observer) {}
+
+  [[nodiscard]] membership::Protocol& protocol() { return *protocol_; }
+  [[nodiscard]] const membership::Protocol& protocol() const {
+    return *protocol_;
+  }
+  [[nodiscard]] GossipEngine& gossip() { return gossip_; }
+
+  // --- membership::Endpoint --------------------------------------------------
+  void deliver(const NodeId& from, const wire::Message& msg) override {
+    if (const auto* g = std::get_if<wire::Gossip>(&msg)) {
+      gossip_.handle_gossip(from, *g);
+    } else if (std::holds_alternative<wire::GossipAck>(msg)) {
+      // Ack handling is implicit (transport failure reporting); ignore.
+    } else {
+      protocol_->handle(from, msg);
+    }
+  }
+
+  void send_failed(const NodeId& to, const wire::Message& msg) override {
+    if (const auto* g = std::get_if<wire::Gossip>(&msg)) {
+      gossip_.on_send_failed(to, *g);
+    } else if (std::holds_alternative<wire::GossipAck>(msg)) {
+      // Lost ack to a dead node: nothing to do.
+    } else {
+      protocol_->on_send_failed(to, msg);
+    }
+  }
+
+  void link_closed(const NodeId& peer) override {
+    protocol_->on_link_closed(peer);
+  }
+
+ private:
+  std::unique_ptr<membership::Protocol> protocol_;
+  GossipEngine gossip_;
+};
+
+}  // namespace hyparview::gossip

@@ -1,0 +1,84 @@
+#include "hyparview/graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview::graph {
+
+Digraph::Digraph(std::size_t node_count) : adj_(node_count) {}
+
+void Digraph::add_edge(std::uint32_t from, std::uint32_t to) {
+  HPV_ASSERT(from < adj_.size() && to < adj_.size());
+  adj_[from].push_back(to);
+  ++edge_count_;
+}
+
+void Digraph::dedupe() {
+  std::size_t edges = 0;
+  for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+    auto& nbrs = adj_[v];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), v), nbrs.end());
+    edges += nbrs.size();
+  }
+  edge_count_ = edges;
+}
+
+std::vector<std::size_t> Digraph::out_degrees() const {
+  std::vector<std::size_t> deg(adj_.size());
+  for (std::size_t v = 0; v < adj_.size(); ++v) deg[v] = adj_[v].size();
+  return deg;
+}
+
+std::vector<std::size_t> Digraph::in_degrees() const {
+  std::vector<std::size_t> deg(adj_.size(), 0);
+  for (const auto& nbrs : adj_) {
+    for (const std::uint32_t u : nbrs) ++deg[u];
+  }
+  return deg;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(adj_.size());
+  for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+    for (const std::uint32_t u : adj_[v]) r.add_edge(u, v);
+  }
+  return r;
+}
+
+Digraph Digraph::undirected_closure() const {
+  Digraph u(adj_.size());
+  for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+    for (const std::uint32_t w : adj_[v]) {
+      u.add_edge(v, w);
+      u.add_edge(w, v);
+    }
+  }
+  u.dedupe();
+  return u;
+}
+
+Digraph Digraph::induced_subgraph(const std::vector<bool>& keep,
+                                  std::vector<std::uint32_t>* mapping) const {
+  HPV_CHECK(keep.size() == adj_.size());
+  std::vector<std::uint32_t> old_to_new(adj_.size(), 0xFFFFFFFFu);
+  std::vector<std::uint32_t> new_to_old;
+  for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+    if (keep[v]) {
+      old_to_new[v] = static_cast<std::uint32_t>(new_to_old.size());
+      new_to_old.push_back(v);
+    }
+  }
+  Digraph sub(new_to_old.size());
+  for (const std::uint32_t v : new_to_old) {
+    for (const std::uint32_t w : adj_[v]) {
+      if (keep[w]) sub.add_edge(old_to_new[v], old_to_new[w]);
+    }
+  }
+  if (mapping != nullptr) *mapping = std::move(new_to_old);
+  return sub;
+}
+
+}  // namespace hyparview::graph

@@ -1,0 +1,53 @@
+// Directed graph snapshots of the overlay.
+//
+// Partial views define a directed graph (paper §2.1): one vertex per node,
+// one arc per view entry. The experiment harness snapshots views into a
+// Digraph and the metrics in metrics.hpp compute the §2.3 properties.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hyparview::graph {
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds the arc from -> to. Self-loops and duplicates are legal inputs
+  /// (views never contain them, but tests do); dedupe() removes them.
+  void add_edge(std::uint32_t from, std::uint32_t to);
+
+  /// Sorts adjacency lists and removes duplicate arcs and self-loops.
+  void dedupe();
+
+  [[nodiscard]] std::span<const std::uint32_t> out_neighbors(
+      std::uint32_t v) const {
+    return adj_[v];
+  }
+
+  [[nodiscard]] std::vector<std::size_t> out_degrees() const;
+  [[nodiscard]] std::vector<std::size_t> in_degrees() const;
+
+  /// Graph with every arc reversed.
+  [[nodiscard]] Digraph reversed() const;
+
+  /// Undirected closure: arc (u,v) induces arcs u->v and v->u.
+  [[nodiscard]] Digraph undirected_closure() const;
+
+  /// Subgraph induced by the vertices where keep[v] is true. Vertices are
+  /// renumbered densely; `mapping[new] == old` is returned via out-param.
+  [[nodiscard]] Digraph induced_subgraph(
+      const std::vector<bool>& keep,
+      std::vector<std::uint32_t>* mapping = nullptr) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace hyparview::graph

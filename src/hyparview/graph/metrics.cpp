@@ -1,0 +1,176 @@
+#include "hyparview/graph/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview::graph {
+namespace {
+
+/// BFS filling dist (0xFFFFFFFF = unreachable); returns number reached.
+std::size_t bfs(const Digraph& g, std::uint32_t source,
+                std::vector<std::uint32_t>& dist,
+                std::vector<std::uint32_t>& queue) {
+  std::fill(dist.begin(), dist.end(), 0xFFFFFFFFu);
+  queue.clear();
+  dist[source] = 0;
+  queue.push_back(source);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const std::uint32_t v = queue[head++];
+    for (const std::uint32_t w : g.out_neighbors(v)) {
+      if (dist[w] == 0xFFFFFFFFu) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return queue.size();
+}
+
+}  // namespace
+
+std::size_t reachable_count(const Digraph& g, std::uint32_t source) {
+  HPV_CHECK(source < g.node_count());
+  std::vector<std::uint32_t> dist(g.node_count());
+  std::vector<std::uint32_t> queue;
+  queue.reserve(g.node_count());
+  return bfs(g, source, dist, queue);
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  if (g.node_count() == 0) return true;
+  return largest_weakly_connected_component(g) == g.node_count();
+}
+
+std::size_t largest_weakly_connected_component(const Digraph& g) {
+  if (g.node_count() == 0) return 0;
+  const Digraph u = g.undirected_closure();
+  std::vector<bool> seen(u.node_count(), false);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(u.node_count());
+  std::size_t best = 0;
+  for (std::uint32_t s = 0; s < u.node_count(); ++s) {
+    if (seen[s]) continue;
+    queue.clear();
+    queue.push_back(s);
+    seen[s] = true;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const std::uint32_t v = queue[head++];
+      for (const std::uint32_t w : u.out_neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    best = std::max(best, queue.size());
+  }
+  return best;
+}
+
+double local_clustering(const Digraph& undirected, std::uint32_t v) {
+  const auto nbrs = undirected.out_neighbors(v);
+  const std::size_t k = nbrs.size();
+  if (k < 2) return 0.0;
+  // Adjacency lists are sorted after dedupe(); count edges among neighbors
+  // by intersecting each neighbor's list with the neighbor set.
+  std::size_t links = 0;
+  for (const std::uint32_t u : nbrs) {
+    const auto unbrs = undirected.out_neighbors(u);
+    // Count |unbrs ∩ nbrs| via two-pointer merge.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < unbrs.size() && j < nbrs.size()) {
+      if (unbrs[i] < nbrs[j]) {
+        ++i;
+      } else if (unbrs[i] > nbrs[j]) {
+        ++j;
+      } else {
+        ++links;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  // Each undirected neighbor-pair edge was counted twice (once per endpoint).
+  const double possible = static_cast<double>(k) * (static_cast<double>(k) - 1.0);
+  return static_cast<double>(links) / possible;
+}
+
+double average_clustering(const Digraph& undirected) {
+  if (undirected.node_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t v = 0; v < undirected.node_count(); ++v) {
+    sum += local_clustering(undirected, v);
+  }
+  return sum / static_cast<double>(undirected.node_count());
+}
+
+PathStats shortest_path_stats(const Digraph& g, std::size_t max_sources,
+                              Rng& rng) {
+  PathStats stats;
+  const std::size_t n = g.node_count();
+  if (n == 0) return stats;
+
+  std::vector<std::uint32_t> sources(n);
+  std::iota(sources.begin(), sources.end(), 0);
+  if (n > max_sources) {
+    sources = rng.sample(sources, max_sources);
+  }
+  stats.sampled_sources = sources.size();
+
+  std::vector<std::uint32_t> dist(n);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  std::uint64_t total_hops = 0;
+  std::uint64_t pairs = 0;
+  for (const std::uint32_t s : sources) {
+    bfs(g, s, dist, queue);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v == s) continue;
+      if (dist[v] == 0xFFFFFFFFu) {
+        ++stats.unreachable_pairs;
+      } else {
+        total_hops += dist[v];
+        ++pairs;
+        stats.diameter = std::max<std::size_t>(stats.diameter, dist[v]);
+      }
+    }
+  }
+  stats.average_shortest_path =
+      pairs == 0 ? 0.0
+                 : static_cast<double>(total_hops) / static_cast<double>(pairs);
+  return stats;
+}
+
+std::vector<std::size_t> in_degree_histogram(const Digraph& g) {
+  const auto deg = g.in_degrees();
+  const std::size_t max_deg =
+      deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+  std::vector<std::size_t> hist(max_deg + 1, 0);
+  for (const std::size_t d : deg) ++hist[d];
+  return hist;
+}
+
+double accuracy(const Digraph& g, const std::vector<bool>& alive) {
+  HPV_CHECK(alive.size() == g.node_count());
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::uint32_t v = 0; v < g.node_count(); ++v) {
+    if (!alive[v]) continue;
+    const auto nbrs = g.out_neighbors(v);
+    if (nbrs.empty()) continue;
+    std::size_t live = 0;
+    for (const std::uint32_t w : nbrs) {
+      if (alive[w]) ++live;
+    }
+    sum += static_cast<double>(live) / static_cast<double>(nbrs.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace hyparview::graph

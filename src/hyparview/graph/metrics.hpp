@@ -1,0 +1,53 @@
+// Overlay graph metrics (paper §2.3, Table 1, Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hyparview/common/rng.hpp"
+#include "hyparview/graph/digraph.hpp"
+
+namespace hyparview::graph {
+
+/// Number of vertices reachable from `source` following arcs (including the
+/// source itself).
+[[nodiscard]] std::size_t reachable_count(const Digraph& g,
+                                          std::uint32_t source);
+
+/// True iff the undirected closure is a single connected component.
+[[nodiscard]] bool is_weakly_connected(const Digraph& g);
+
+/// Size of the largest weakly connected component (0 for an empty graph).
+[[nodiscard]] std::size_t largest_weakly_connected_component(const Digraph& g);
+
+/// Local clustering coefficient of `v` on an *undirected* graph (pass the
+/// undirected_closure() of a view graph): edges among neighbors divided by
+/// k(k-1)/2. Nodes with degree < 2 contribute 0, matching the paper's
+/// PeerSim convention.
+[[nodiscard]] double local_clustering(const Digraph& undirected,
+                                      std::uint32_t v);
+
+/// Average of local_clustering over all vertices.
+[[nodiscard]] double average_clustering(const Digraph& undirected);
+
+struct PathStats {
+  double average_shortest_path = 0.0;  ///< over reachable ordered pairs
+  std::size_t diameter = 0;            ///< max shortest path seen
+  std::size_t unreachable_pairs = 0;   ///< ordered pairs with no path
+  std::size_t sampled_sources = 0;
+};
+
+/// BFS shortest paths from up to `max_sources` uniformly sampled sources
+/// (all sources when node_count <= max_sources, making the result exact).
+[[nodiscard]] PathStats shortest_path_stats(const Digraph& g,
+                                            std::size_t max_sources, Rng& rng);
+
+/// Histogram of in-degrees: result[d] = number of vertices with in-degree d.
+[[nodiscard]] std::vector<std::size_t> in_degree_histogram(const Digraph& g);
+
+/// Accuracy (§2.3): for each vertex with alive[v], the fraction of its
+/// out-neighbors that are alive; averaged over alive vertices that have at
+/// least one out-neighbor.
+[[nodiscard]] double accuracy(const Digraph& g, const std::vector<bool>& alive);
+
+}  // namespace hyparview::graph

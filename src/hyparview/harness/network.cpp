@@ -1,0 +1,363 @@
+#include "hyparview/harness/network.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/common/logging.hpp"
+
+namespace hyparview::harness {
+
+const char* kind_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kHyParView: return "HyParView";
+    case ProtocolKind::kCyclon: return "Cyclon";
+    case ProtocolKind::kCyclonAcked: return "CyclonAcked";
+    case ProtocolKind::kScamp: return "Scamp";
+  }
+  return "?";
+}
+
+const std::vector<ProtocolKind>& all_protocol_kinds() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kHyParView, ProtocolKind::kCyclonAcked,
+      ProtocolKind::kCyclon, ProtocolKind::kScamp};
+  return kinds;
+}
+
+NetworkConfig NetworkConfig::defaults_for(ProtocolKind kind,
+                                          std::size_t nodes,
+                                          std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.kind = kind;
+  cfg.node_count = nodes;
+  cfg.seed = seed;
+  cfg.sim.seed = seed;
+  // §5.1 parameters.
+  cfg.fanout = 4;
+  cfg.hyparview.active_capacity = 5;   // fanout + 1
+  cfg.hyparview.passive_capacity = 30;
+  cfg.hyparview.arwl = 6;
+  cfg.hyparview.prwl = 3;
+  cfg.hyparview.shuffle_ka = 3;
+  cfg.hyparview.shuffle_kp = 4;
+  cfg.hyparview.shuffle_ttl = 6;
+  cfg.cyclon.view_capacity = 35;       // HyParView active + passive
+  cfg.cyclon.shuffle_length = 14;
+  cfg.cyclon.join_walk_ttl = 5;
+  cfg.scamp.c = 4;
+  cfg.cyclon.purge_on_unreachable = (kind == ProtocolKind::kCyclonAcked);
+  // HyParView keeps an open TCP connection to every active-view member, so
+  // a peer's crash surfaces immediately as a connection reset (§4: "TCP is
+  // also used as a failure detector"). Cyclon and Scamp keep no standing
+  // connections and only discover failures when they next try to send.
+  cfg.sim.notify_on_crash = (kind == ProtocolKind::kHyParView);
+  switch (kind) {
+    case ProtocolKind::kHyParView:
+      cfg.gossip.mode = gossip::Mode::kFlood;
+      break;
+    case ProtocolKind::kCyclonAcked:
+      cfg.gossip.mode = gossip::Mode::kRandomFanoutAcked;
+      break;
+    case ProtocolKind::kCyclon:
+    case ProtocolKind::kScamp:
+      cfg.gossip.mode = gossip::Mode::kRandomFanout;
+      break;
+  }
+  cfg.gossip.fanout = cfg.fanout;
+  return cfg;
+}
+
+Network::Network(NetworkConfig config)
+    : config_(config), sim_(config.sim) {
+  HPV_CHECK_THROW(config_.node_count >= 2,
+                  "network needs at least two nodes");
+}
+
+Network::~Network() = default;
+
+std::size_t Network::assign_class() {
+  if (config_.hyparview_classes.empty()) return 0;
+  const double roll = sim_.rng().unit();
+  double cumulative = 0.0;
+  for (std::size_t c = 0; c < config_.hyparview_classes.size(); ++c) {
+    cumulative += config_.hyparview_classes[c].fraction;
+    if (roll < cumulative) return c;
+  }
+  return config_.hyparview_classes.size() - 1;  // fractions under-summed
+}
+
+std::size_t Network::node_class(std::size_t i) const {
+  HPV_CHECK(i < class_of_.size());
+  return class_of_[i];
+}
+
+std::unique_ptr<membership::Protocol> Network::make_protocol(
+    membership::Env& env, std::size_t index) {
+  switch (config_.kind) {
+    case ProtocolKind::kHyParView: {
+      core::Config cfg = config_.hyparview;
+      if (!config_.hyparview_classes.empty()) {
+        const auto& cls = config_.hyparview_classes[class_of_[index]];
+        cfg.active_capacity = cls.active_capacity;
+        cfg.passive_capacity = cls.passive_capacity;
+      }
+      return std::make_unique<core::HyParView>(env, cfg);
+    }
+    case ProtocolKind::kCyclon:
+    case ProtocolKind::kCyclonAcked:
+      return std::make_unique<baselines::Cyclon>(env, config_.cyclon);
+    case ProtocolKind::kScamp:
+      return std::make_unique<baselines::Scamp>(env, config_.scamp);
+  }
+  HPV_CHECK(false);
+  return nullptr;
+}
+
+void Network::build() {
+  HPV_CHECK(!built_);
+  built_ = true;
+  runtimes_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const NodeId id = sim_.add_node(nullptr);
+    class_of_.push_back(assign_class());
+    gossip::GossipConfig gcfg = config_.gossip;
+    gcfg.fanout = config_.fanout;
+    auto runtime = std::make_unique<gossip::NodeRuntime>(
+        sim_.env(id), make_protocol(sim_.env(id), i), gcfg, &recorder_);
+    sim_.set_handler(id, runtime.get());
+    runtimes_.push_back(std::move(runtime));
+  }
+  // Joins happen one by one with no membership rounds in between (§5).
+  runtimes_[0]->protocol().start(std::nullopt);
+  sim_.run_until_quiescent();
+  for (std::size_t i = 1; i < runtimes_.size(); ++i) {
+    std::size_t contact = 0;
+    if (config_.kind == ProtocolKind::kScamp) {
+      // Scamp joins through a random node already in the overlay.
+      contact = static_cast<std::size_t>(sim_.rng().below(i));
+    }
+    runtimes_[i]->protocol().start(id_of(contact));
+    sim_.run_until_quiescent();
+  }
+}
+
+void Network::run_cycles(std::size_t n) {
+  std::vector<std::size_t> order(runtimes_.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t round = 0; round < n; ++round) {
+    sim_.rng().shuffle(order);
+    for (const std::size_t i : order) {
+      if (!alive(i)) continue;
+      runtimes_[i]->protocol().on_cycle();
+      sim_.run_until_quiescent();
+    }
+  }
+}
+
+void Network::fail_random_fraction(double fraction) {
+  HPV_CHECK_THROW(fraction >= 0.0 && fraction <= 1.0,
+                  "failure fraction must be within [0,1]");
+  std::vector<std::size_t> alive_ids;
+  alive_ids.reserve(runtimes_.size());
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    if (alive(i)) alive_ids.push_back(i);
+  }
+  const auto count =
+      static_cast<std::size_t>(fraction * static_cast<double>(alive_ids.size()));
+  for (const std::size_t i : sim_.rng().sample(alive_ids, count)) {
+    sim_.crash(id_of(i));
+  }
+}
+
+std::size_t Network::add_node() {
+  HPV_CHECK(built_);
+  const NodeId id = sim_.add_node(nullptr);
+  class_of_.push_back(assign_class());
+  gossip::GossipConfig gcfg = config_.gossip;
+  gcfg.fanout = config_.fanout;
+  auto runtime = std::make_unique<gossip::NodeRuntime>(
+      sim_.env(id), make_protocol(sim_.env(id), runtimes_.size()), gcfg,
+      &recorder_);
+  sim_.set_handler(id, runtime.get());
+  runtimes_.push_back(std::move(runtime));
+  const std::size_t index = runtimes_.size() - 1;
+  // Every protocol joins a live system through a random alive contact (the
+  // single-contact bootstrap of build() is a cold-start artifact).
+  std::size_t contact = index;
+  while (contact == index) contact = pick_alive_index();
+  runtimes_[index]->protocol().start(id_of(contact));
+  sim_.run_until_quiescent();
+  return index;
+}
+
+void Network::leave_node(std::size_t i, bool graceful) {
+  HPV_CHECK(i < runtimes_.size());
+  if (!alive(i)) return;
+  if (graceful) runtimes_[i]->protocol().leave();
+  // The process exits right after writing its goodbyes: it must not keep
+  // participating (e.g. accepting NEIGHBOR requests back into active
+  // views) while they are in flight. The writes themselves still flush —
+  // in-flight deliveries are unaffected by the sender's exit.
+  sim_.crash(id_of(i));
+  sim_.run_until_quiescent();
+}
+
+ChurnStats Network::run_churn(const ChurnConfig& cfg) {
+  HPV_CHECK(built_);
+  ChurnStats stats;
+  for (std::size_t cycle = 0; cycle < cfg.cycles; ++cycle) {
+    for (std::size_t j = 0; j < cfg.joins_per_cycle; ++j) {
+      add_node();
+      ++stats.joins;
+    }
+    for (std::size_t l = 0; l < cfg.leaves_per_cycle; ++l) {
+      if (sim_.alive_count() <= 2) break;
+      const std::size_t victim = pick_alive_index();
+      const bool graceful = sim_.rng().chance(cfg.graceful_fraction);
+      leave_node(victim, graceful);
+      ++(graceful ? stats.graceful_leaves : stats.crashes);
+    }
+    run_cycles(1);
+    if (cfg.probes_per_cycle > 0) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < cfg.probes_per_cycle; ++p) {
+        sum += broadcast_one().reliability();
+      }
+      const double reliability =
+          sum / static_cast<double>(cfg.probes_per_cycle);
+      stats.per_cycle_reliability.push_back(reliability);
+      stats.min_reliability = std::min(stats.min_reliability, reliability);
+    }
+  }
+  if (!stats.per_cycle_reliability.empty()) {
+    double total = 0.0;
+    for (const double r : stats.per_cycle_reliability) total += r;
+    stats.avg_reliability =
+        total / static_cast<double>(stats.per_cycle_reliability.size());
+  }
+  return stats;
+}
+
+std::size_t Network::pick_alive_index() {
+  HPV_CHECK(sim_.alive_count() > 0);
+  while (true) {
+    const auto i =
+        static_cast<std::size_t>(sim_.rng().below(runtimes_.size()));
+    if (alive(i)) return i;
+  }
+}
+
+analysis::MessageResult Network::broadcast_one() {
+  const std::size_t source = pick_alive_index();
+  const std::uint64_t msg_id = next_msg_id_++;
+  recorder_.begin_message(msg_id, sim_.alive_count());
+  runtimes_[source]->gossip().broadcast(msg_id);
+  sim_.run_until_quiescent();
+  return recorder_.result(msg_id);
+}
+
+std::vector<analysis::MessageResult> Network::broadcast_many(
+    std::size_t count) {
+  std::vector<analysis::MessageResult> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(broadcast_one());
+  return out;
+}
+
+void Network::set_fanout(std::size_t fanout) {
+  config_.fanout = fanout;
+  for (auto& runtime : runtimes_) runtime->gossip().set_fanout(fanout);
+}
+
+graph::Digraph Network::dissemination_graph(bool alive_only) const {
+  graph::Digraph g(runtimes_.size());
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    if (alive_only && !alive(i)) continue;
+    for (const NodeId& peer : runtimes_[i]->protocol().dissemination_view()) {
+      if (alive_only && !sim_.alive(peer)) continue;
+      g.add_edge(static_cast<std::uint32_t>(i), peer.ip);
+    }
+  }
+  g.dedupe();
+  return g;
+}
+
+double Network::view_accuracy() const {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    if (!alive(i)) continue;
+    const auto view = runtimes_[i]->protocol().dissemination_view();
+    if (view.empty()) continue;
+    std::size_t live = 0;
+    for (const NodeId& peer : view) {
+      if (sim_.alive(peer)) ++live;
+    }
+    sum += static_cast<double>(live) / static_cast<double>(view.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+membership::Protocol& Network::protocol(std::size_t i) {
+  HPV_CHECK(i < runtimes_.size());
+  return runtimes_[i]->protocol();
+}
+
+gossip::NodeRuntime& Network::runtime(std::size_t i) {
+  HPV_CHECK(i < runtimes_.size());
+  return *runtimes_[i];
+}
+
+NodeId Network::id_of(std::size_t i) const {
+  HPV_CHECK(i < runtimes_.size());
+  return NodeId::from_index(static_cast<std::uint32_t>(i));
+}
+
+bool Network::alive(std::size_t i) const { return sim_.alive(id_of(i)); }
+
+std::vector<bool> Network::alive_mask() const {
+  std::vector<bool> mask(runtimes_.size());
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) mask[i] = alive(i);
+  return mask;
+}
+
+HealingResult run_healing_experiment(const NetworkConfig& netcfg,
+                                     const HealingConfig& cfg) {
+  Network net(netcfg);
+  net.build();
+  net.run_cycles(cfg.stabilization_cycles);
+
+  HealingResult result;
+  // Pre-failure baseline: the reliability this protocol must regain.
+  {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cfg.probes_per_cycle; ++i) {
+      sum += net.broadcast_one().reliability();
+    }
+    result.baseline_reliability = sum / static_cast<double>(cfg.probes_per_cycle);
+  }
+
+  net.fail_random_fraction(cfg.fail_fraction);
+
+  for (std::size_t cycle = 1; cycle <= cfg.max_cycles; ++cycle) {
+    net.run_cycles(1);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cfg.probes_per_cycle; ++i) {
+      sum += net.broadcast_one().reliability();
+    }
+    const double reliability =
+        sum / static_cast<double>(cfg.probes_per_cycle);
+    result.per_cycle_reliability.push_back(reliability);
+    if (reliability >= result.baseline_reliability) {
+      result.cycles_to_heal = cycle;
+      result.recovered = true;
+      break;
+    }
+  }
+  if (!result.recovered) result.cycles_to_heal = cfg.max_cycles;
+  return result;
+}
+
+}  // namespace hyparview::harness

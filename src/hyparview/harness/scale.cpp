@@ -1,0 +1,28 @@
+#include "hyparview/harness/scale.hpp"
+
+#include <algorithm>
+
+#include "hyparview/common/options.hpp"
+
+namespace hyparview::harness {
+
+BenchScale BenchScale::from_env(std::size_t default_messages) {
+  BenchScale s;
+  s.messages = default_messages;
+  s.quick = env_flag("HPV_QUICK", false);
+  if (s.quick) {
+    s.nodes = 1'000;
+    s.messages = std::min<std::size_t>(default_messages, 100);
+  }
+  s.nodes = static_cast<std::size_t>(
+      env_int("HPV_NODES", static_cast<std::int64_t>(s.nodes)));
+  s.messages = static_cast<std::size_t>(
+      env_int("HPV_MSGS", static_cast<std::int64_t>(s.messages)));
+  s.runs = static_cast<std::size_t>(env_int("HPV_RUNS", 1));
+  s.seed = static_cast<std::uint64_t>(env_int("HPV_SEED", 42));
+  s.nodes = std::max<std::size_t>(s.nodes, 16);
+  s.runs = std::max<std::size_t>(s.runs, 1);
+  return s;
+}
+
+}  // namespace hyparview::harness

@@ -1,0 +1,30 @@
+// Transport → node upcall interface.
+//
+// Both transports (sim::Simulator, net::TcpTransport) deliver traffic to an
+// Endpoint; gossip::NodeRuntime implements it and demultiplexes between the
+// membership protocol and the gossip broadcast engine.
+#pragma once
+
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/membership/wire.hpp"
+
+namespace hyparview::membership {
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// A message arrived from `from`.
+  virtual void deliver(const NodeId& from, const wire::Message& msg) = 0;
+
+  /// A message we sent to `to` was not delivered: the transport detected the
+  /// peer is gone (TCP write/connect failure). This is the paper's failure
+  /// detector signal.
+  virtual void send_failed(const NodeId& to, const wire::Message& msg) = 0;
+
+  /// The link to `peer` was torn down without a DISCONNECT message
+  /// (remote crash in notify mode, TCP reset).
+  virtual void link_closed(const NodeId& peer) = 0;
+};
+
+}  // namespace hyparview::membership

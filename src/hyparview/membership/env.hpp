@@ -1,0 +1,57 @@
+// Execution environment abstraction.
+//
+// A protocol instance is written once against Env and runs unchanged on the
+// deterministic simulator (sim::Simulator) and on the real TCP stack
+// (net::TcpTransport). The environment owns transport semantics:
+//
+//  * send() is reliable and connection-oriented, like TCP: if no link to the
+//    destination exists one is established implicitly. Delivery failures
+//    (crashed peer) are reported asynchronously through the owner's
+//    on_send_failed hook — this is the "TCP as a failure detector" model of
+//    the paper.
+//  * connect() performs an explicit connection attempt, used by HyParView's
+//    active-view repair where establishing the connection *is* the liveness
+//    probe (§4.3).
+//  * schedule() runs a one-shot task later; periodic behaviour is driven
+//    externally via Protocol::on_cycle so the simulator can count membership
+//    rounds exactly like the paper does.
+#pragma once
+
+#include <functional>
+
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/common/rng.hpp"
+#include "hyparview/common/time.hpp"
+#include "hyparview/membership/wire.hpp"
+
+namespace hyparview::membership {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// This node's identifier.
+  [[nodiscard]] virtual NodeId self() const = 0;
+
+  /// Current (simulated or monotonic wall-clock) time.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Deterministic per-node random stream.
+  [[nodiscard]] virtual Rng& rng() = 0;
+
+  /// Sends `msg` to `to` over a reliable link (implicitly established).
+  virtual void send(const NodeId& to, wire::Message msg) = 0;
+
+  /// Attempts to establish a link to `to`; `cb(true)` once connected,
+  /// `cb(false)` if the peer is unreachable. The callback fires
+  /// asynchronously, after this call returns.
+  virtual void connect(const NodeId& to, std::function<void(bool)> cb) = 0;
+
+  /// Closes the link to `to`, if any. No failure is reported to either side.
+  virtual void disconnect(const NodeId& to) = 0;
+
+  /// Runs `fn` after `delay`. One-shot.
+  virtual void schedule(Duration delay, std::function<void()> fn) = 0;
+};
+
+}  // namespace hyparview::membership

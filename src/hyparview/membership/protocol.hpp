@@ -1,0 +1,84 @@
+// The peer-sampling ("membership") protocol interface.
+//
+// HyParView, Cyclon, CyclonAcked and Scamp all implement this interface; the
+// gossip layer and the experiment harness are written against it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/membership/wire.hpp"
+
+namespace hyparview::membership {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Joins the overlay through `contact` (nullopt for the bootstrap node).
+  virtual void start(std::optional<NodeId> contact) = 0;
+
+  /// Handles a membership message from `from`.
+  virtual void handle(const NodeId& from, const wire::Message& msg) = 0;
+
+  /// A membership message we sent to `to` could not be delivered (the
+  /// transport detected the peer crashed).
+  virtual void on_send_failed(const NodeId& to, const wire::Message& msg) = 0;
+
+  /// The link to `peer` was closed by the remote side or the transport
+  /// (TCP backend; also simulator in notify-on-crash mode).
+  virtual void on_link_closed(const NodeId& peer) = 0;
+
+  /// One membership round (shuffle period / lease bookkeeping). Driven by
+  /// the harness in simulation and by a timer on the TCP backend.
+  virtual void on_cycle() = 0;
+
+  /// Graceful departure: say goodbye so peers repair proactively instead of
+  /// discovering the absence through failed sends. The default is a silent
+  /// exit (indistinguishable from a crash) — Cyclon, for instance, defines
+  /// no leave protocol and relies on view aging. The node must not be used
+  /// after leave() returns (beyond draining its outgoing goodbyes).
+  virtual void leave() {}
+
+  /// Targets for (re)broadcasting a gossip message received from `from`
+  /// (kNoNode when this node is the broadcast source).
+  ///
+  /// HyParView floods: returns the whole active view except `from`
+  /// (`fanout` is ignored — the active view *is* sized fanout+1).
+  /// Cyclon/Scamp: `fanout` uniformly random view members except `from`.
+  [[nodiscard]] virtual std::vector<NodeId> broadcast_targets(
+      std::size_t fanout, const NodeId& from) = 0;
+
+  /// The gossip layer detected that `peer` is unreachable while
+  /// disseminating (ack/TCP failure). Protocols with reactive failure
+  /// handling purge/repair; plain Cyclon and Scamp ignore it.
+  virtual void peer_unreachable(const NodeId& peer) = 0;
+
+  /// Called by the gossip layer whenever a broadcast passes through this
+  /// node. `from` is the relaying peer when the dissemination mode is a
+  /// deterministic flood (kNoNode otherwise, and for locally originated
+  /// broadcasts). Reactive protocols may piggyback maintenance on traffic:
+  /// HyParView re-arms its active-view repair loop here — realizing the
+  /// paper's "repeat until a connection is established" promotion loop with
+  /// bounded work per message — and self-heals active-view asymmetry
+  /// (flood traffic from a non-neighbor proves the sender still believes
+  /// the link exists; a DISCONNECT resolves the disagreement).
+  virtual void on_traffic(const NodeId& from) { (void)from; }
+
+  // --- Introspection (analysis, tests, debugging) ---------------------------
+
+  /// The view used to select dissemination targets (active view for
+  /// HyParView, the partial view for Cyclon/Scamp).
+  [[nodiscard]] virtual std::vector<NodeId> dissemination_view() const = 0;
+
+  /// Backup knowledge (HyParView passive view, Scamp InView; empty for
+  /// Cyclon which has a single view).
+  [[nodiscard]] virtual std::vector<NodeId> backup_view() const = 0;
+
+  /// Protocol name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace hyparview::membership

@@ -1,0 +1,243 @@
+#include "hyparview/membership/wire.hpp"
+
+#include <type_traits>
+
+namespace hyparview::wire {
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+template <typename Writer>
+void write_aged(const AgedId& e, Writer& w) {
+  w.node_id(e.id);
+  w.u16(e.age);
+}
+
+AgedId read_aged(BinaryReader& r) {
+  AgedId e;
+  e.id = r.node_id();
+  e.age = r.u16();
+  return e;
+}
+
+template <typename Writer>
+void write_aged_list(const std::vector<AgedId>& v, Writer& w) {
+  HPV_CHECK(v.size() <= 0xFFFF);
+  w.u16(static_cast<std::uint16_t>(v.size()));
+  for (const auto& e : v) write_aged(e, w);
+}
+
+std::vector<AgedId> read_aged_list(BinaryReader& r) {
+  const std::size_t n = r.u16();
+  std::vector<AgedId> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(read_aged(r));
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t type_tag(const Message& msg) {
+  return static_cast<std::uint8_t>(msg.index());
+}
+
+const char* type_name(const Message& msg) {
+  return std::visit(
+      Overloaded{
+          [](const Join&) { return "JOIN"; },
+          [](const ForwardJoin&) { return "FORWARDJOIN"; },
+          [](const ForwardJoinAccept&) { return "FORWARDJOIN_ACCEPT"; },
+          [](const Disconnect&) { return "DISCONNECT"; },
+          [](const Neighbor&) { return "NEIGHBOR"; },
+          [](const NeighborReply&) { return "NEIGHBOR_REPLY"; },
+          [](const Shuffle&) { return "SHUFFLE"; },
+          [](const ShuffleReply&) { return "SHUFFLE_REPLY"; },
+          [](const CyclonShuffle&) { return "CYCLON_SHUFFLE"; },
+          [](const CyclonShuffleReply&) { return "CYCLON_SHUFFLE_REPLY"; },
+          [](const CyclonJoinWalk&) { return "CYCLON_JOIN_WALK"; },
+          [](const CyclonJoinGift&) { return "CYCLON_JOIN_GIFT"; },
+          [](const ScampSubscribe&) { return "SCAMP_SUBSCRIBE"; },
+          [](const ScampForwardedSub&) { return "SCAMP_FORWARDED_SUB"; },
+          [](const ScampInViewNotify&) { return "SCAMP_INVIEW_NOTIFY"; },
+          [](const ScampReplace&) { return "SCAMP_REPLACE"; },
+          [](const ScampHeartbeat&) { return "SCAMP_HEARTBEAT"; },
+          [](const Gossip&) { return "GOSSIP"; },
+          [](const GossipAck&) { return "GOSSIP_ACK"; },
+          [](const Hello&) { return "HELLO"; },
+      },
+      msg);
+}
+
+namespace {
+
+// Shared between encode() and encoded_size() so the two can never disagree
+// (a property test additionally pins encoded_size == encode_bytes().size()).
+template <typename Writer>
+void encode_impl(const Message& msg, Writer& w) {
+  w.u8(type_tag(msg));
+  std::visit(
+      Overloaded{
+          [&](const Join&) {},
+          [&](const ForwardJoin& m) {
+            w.node_id(m.new_node);
+            w.u8(m.ttl);
+          },
+          [&](const ForwardJoinAccept&) {},
+          [&](const Disconnect&) {},
+          [&](const Neighbor& m) { w.u8(m.high_priority ? 1 : 0); },
+          [&](const NeighborReply& m) { w.u8(m.accepted ? 1 : 0); },
+          [&](const Shuffle& m) {
+            w.node_id(m.origin);
+            w.u8(m.ttl);
+            w.node_ids(m.entries);
+          },
+          [&](const ShuffleReply& m) {
+            w.node_ids(m.sent);
+            w.node_ids(m.entries);
+          },
+          [&](const CyclonShuffle& m) { write_aged_list(m.entries, w); },
+          [&](const CyclonShuffleReply& m) { write_aged_list(m.entries, w); },
+          [&](const CyclonJoinWalk& m) {
+            w.node_id(m.new_node);
+            w.u8(m.ttl);
+          },
+          [&](const CyclonJoinGift& m) { write_aged(m.entry, w); },
+          [&](const ScampSubscribe& m) { w.node_id(m.subscriber); },
+          [&](const ScampForwardedSub& m) {
+            w.node_id(m.subscriber);
+            w.u16(m.ttl);
+          },
+          [&](const ScampInViewNotify&) {},
+          [&](const ScampReplace& m) {
+            w.node_id(m.old_id);
+            w.node_id(m.replacement);
+          },
+          [&](const ScampHeartbeat&) {},
+          [&](const Gossip& m) {
+            w.u64(m.msg_id);
+            w.u16(m.hops);
+            w.u32(m.payload_size);
+          },
+          [&](const GossipAck& m) { w.u64(m.msg_id); },
+          [&](const Hello& m) { w.node_id(m.node_id); },
+      },
+      msg);
+}
+
+}  // namespace
+
+void encode(const Message& msg, BinaryWriter& w) { encode_impl(msg, w); }
+
+std::size_t encoded_size(const Message& msg) {
+  ByteCounter counter;
+  encode_impl(msg, counter);
+  return counter.size();
+}
+
+std::size_t wire_cost(const Message& msg) {
+  std::size_t cost = encoded_size(msg);
+  // Gossip frames carry a synthetic payload: the header only records its
+  // size, but a deployment would ship the bytes, so overhead accounting
+  // charges them.
+  if (const auto* g = std::get_if<Gossip>(&msg)) cost += g->payload_size;
+  return cost;
+}
+
+std::vector<std::uint8_t> encode_bytes(const Message& msg) {
+  BinaryWriter w;
+  encode(msg, w);
+  return w.take();
+}
+
+Message decode(BinaryReader& r) {
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case 0:
+      return Join{};
+    case 1: {
+      ForwardJoin m;
+      m.new_node = r.node_id();
+      m.ttl = r.u8();
+      return m;
+    }
+    case 2:
+      return ForwardJoinAccept{};
+    case 3:
+      return Disconnect{};
+    case 4:
+      return Neighbor{r.u8() != 0};
+    case 5:
+      return NeighborReply{r.u8() != 0};
+    case 6: {
+      Shuffle m;
+      m.origin = r.node_id();
+      m.ttl = r.u8();
+      m.entries = r.node_ids();
+      return m;
+    }
+    case 7: {
+      ShuffleReply m;
+      m.sent = r.node_ids();
+      m.entries = r.node_ids();
+      return m;
+    }
+    case 8:
+      return CyclonShuffle{read_aged_list(r)};
+    case 9:
+      return CyclonShuffleReply{read_aged_list(r)};
+    case 10: {
+      CyclonJoinWalk m;
+      m.new_node = r.node_id();
+      m.ttl = r.u8();
+      return m;
+    }
+    case 11:
+      return CyclonJoinGift{read_aged(r)};
+    case 12:
+      return ScampSubscribe{r.node_id()};
+    case 13: {
+      ScampForwardedSub m;
+      m.subscriber = r.node_id();
+      m.ttl = r.u16();
+      return m;
+    }
+    case 14:
+      return ScampInViewNotify{};
+    case 15: {
+      ScampReplace m;
+      m.old_id = r.node_id();
+      m.replacement = r.node_id();
+      return m;
+    }
+    case 16:
+      return ScampHeartbeat{};
+    case 17: {
+      Gossip m;
+      m.msg_id = r.u64();
+      m.hops = r.u16();
+      m.payload_size = r.u32();
+      return m;
+    }
+    case 18:
+      return GossipAck{r.u64()};
+    case 19:
+      return Hello{r.node_id()};
+    default:
+      throw CheckError("wire::decode: unknown message tag " +
+                       std::to_string(tag));
+  }
+}
+
+Message decode_bytes(std::span<const std::uint8_t> bytes) {
+  BinaryReader r(bytes);
+  Message m = decode(r);
+  HPV_CHECK_THROW(r.at_end(), "wire::decode: trailing bytes in frame");
+  return m;
+}
+
+}  // namespace hyparview::wire

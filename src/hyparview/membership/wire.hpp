@@ -1,0 +1,216 @@
+// Wire messages for every protocol in the repo.
+//
+// A single tagged variant covers HyParView, Cyclon, Scamp and the gossip
+// layer so that one transport implementation (simulated or TCP) can carry
+// any protocol. Binary encoding is little-endian and length-framed by the
+// transport; see encode()/decode().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hyparview/common/binary.hpp"
+#include "hyparview/common/node_id.hpp"
+
+namespace hyparview::wire {
+
+// ---------------------------------------------------------------------------
+// HyParView (paper §4, Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// Sent by a joining node to its contact node over a fresh connection.
+struct Join {
+  friend bool operator==(const Join&, const Join&) = default;
+};
+
+/// Random-walk propagation of a join through the overlay. `ttl` starts at
+/// ARWL and is decremented at each hop; at ttl == PRWL the walked node also
+/// stores the joiner in its passive view.
+struct ForwardJoin {
+  NodeId new_node;
+  std::uint8_t ttl = 0;
+  friend bool operator==(const ForwardJoin&, const ForwardJoin&) = default;
+};
+
+/// Sent by the node at the end of a join walk to the joiner so the new
+/// active-view link is symmetric (Algorithm 1 leaves this implicit).
+struct ForwardJoinAccept {
+  friend bool operator==(const ForwardJoinAccept&,
+                         const ForwardJoinAccept&) = default;
+};
+
+/// Notifies a peer that it was dropped from the sender's active view.
+struct Disconnect {
+  friend bool operator==(const Disconnect&, const Disconnect&) = default;
+};
+
+/// Request to become an active-view neighbor. High priority is used by nodes
+/// whose active view is empty and must always be accepted.
+struct Neighbor {
+  bool high_priority = false;
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+struct NeighborReply {
+  bool accepted = false;
+  friend bool operator==(const NeighborReply&, const NeighborReply&) = default;
+};
+
+/// Passive-view shuffle, propagated as a TTL-bounded random walk. `origin`
+/// is the node that initiated the shuffle (the reply goes directly to it,
+/// over a temporary connection in the TCP deployment).
+struct Shuffle {
+  NodeId origin;
+  std::uint8_t ttl = 0;
+  std::vector<NodeId> entries;
+  friend bool operator==(const Shuffle&, const Shuffle&) = default;
+};
+
+struct ShuffleReply {
+  /// Echo of the ids we sent, so the receiver can prefer evicting them.
+  std::vector<NodeId> sent;
+  std::vector<NodeId> entries;
+  friend bool operator==(const ShuffleReply&, const ShuffleReply&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Cyclon (Voulgaris et al., baseline in §5)
+// ---------------------------------------------------------------------------
+
+struct AgedId {
+  NodeId id;
+  std::uint16_t age = 0;
+  friend bool operator==(const AgedId&, const AgedId&) = default;
+};
+
+struct CyclonShuffle {
+  std::vector<AgedId> entries;
+  friend bool operator==(const CyclonShuffle&, const CyclonShuffle&) = default;
+};
+
+struct CyclonShuffleReply {
+  std::vector<AgedId> entries;
+  friend bool operator==(const CyclonShuffleReply&,
+                         const CyclonShuffleReply&) = default;
+};
+
+/// Join random walk. The node where the walk ends swaps one of its own view
+/// entries for the joiner (preserving in-degrees) and sends the displaced
+/// entry back to the joiner in a CyclonJoinGift.
+struct CyclonJoinWalk {
+  NodeId new_node;
+  std::uint8_t ttl = 0;
+  friend bool operator==(const CyclonJoinWalk&,
+                         const CyclonJoinWalk&) = default;
+};
+
+struct CyclonJoinGift {
+  AgedId entry;
+  friend bool operator==(const CyclonJoinGift&,
+                         const CyclonJoinGift&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Scamp (Ganesh et al., baseline in §5)
+// ---------------------------------------------------------------------------
+
+/// New subscription (or lease-driven resubscription) sent to a contact.
+struct ScampSubscribe {
+  NodeId subscriber;
+  friend bool operator==(const ScampSubscribe&,
+                         const ScampSubscribe&) = default;
+};
+
+/// A copy of a subscription being forwarded through the overlay. Kept by the
+/// receiver with probability 1/(1+|PartialView|), forwarded otherwise. The
+/// ttl only guards against pathological forwarding loops.
+struct ScampForwardedSub {
+  NodeId subscriber;
+  std::uint16_t ttl = 0;
+  friend bool operator==(const ScampForwardedSub&,
+                         const ScampForwardedSub&) = default;
+};
+
+/// "I added you to my PartialView" — lets the subscriber maintain its InView.
+struct ScampInViewNotify {
+  friend bool operator==(const ScampInViewNotify&,
+                         const ScampInViewNotify&) = default;
+};
+
+/// Unsubscription: asks an InView member to replace `old_id` with
+/// `replacement` in its PartialView (replacement == kNoNode means just drop).
+struct ScampReplace {
+  NodeId old_id;
+  NodeId replacement;
+  friend bool operator==(const ScampReplace&, const ScampReplace&) = default;
+};
+
+/// Periodic liveness beacon along PartialView edges; lack of heartbeats for
+/// too long makes a node assume isolation and resubscribe.
+struct ScampHeartbeat {
+  friend bool operator==(const ScampHeartbeat&,
+                         const ScampHeartbeat&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Gossip broadcast layer
+// ---------------------------------------------------------------------------
+
+/// An application broadcast. Payload is synthetic (experiments measure
+/// delivery, not content); `hops` counts overlay hops for the Table 1 metric.
+struct Gossip {
+  std::uint64_t msg_id = 0;
+  std::uint16_t hops = 0;
+  std::uint32_t payload_size = 0;
+  friend bool operator==(const Gossip&, const Gossip&) = default;
+};
+
+struct GossipAck {
+  std::uint64_t msg_id = 0;
+  friend bool operator==(const GossipAck&, const GossipAck&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Transport-level handshake (TCP backend only)
+// ---------------------------------------------------------------------------
+
+/// First frame on every TCP connection: tells the acceptor the dialer's
+/// listening address (inbound ephemeral ports are not node identifiers).
+struct Hello {
+  NodeId node_id;
+  friend bool operator==(const Hello&, const Hello&) = default;
+};
+
+// ---------------------------------------------------------------------------
+
+using Message = std::variant<
+    Join, ForwardJoin, ForwardJoinAccept, Disconnect, Neighbor, NeighborReply,
+    Shuffle, ShuffleReply, CyclonShuffle, CyclonShuffleReply, CyclonJoinWalk,
+    CyclonJoinGift, ScampSubscribe, ScampForwardedSub, ScampInViewNotify,
+    ScampReplace, ScampHeartbeat, Gossip, GossipAck, Hello>;
+
+/// Stable wire tag of a message (the variant index, fixed by the order above).
+[[nodiscard]] std::uint8_t type_tag(const Message& msg);
+
+/// Human-readable message-type name for logs and test diagnostics.
+[[nodiscard]] const char* type_name(const Message& msg);
+
+/// Serializes tag + payload.
+void encode(const Message& msg, BinaryWriter& writer);
+[[nodiscard]] std::vector<std::uint8_t> encode_bytes(const Message& msg);
+
+/// Exact size in bytes of encode_bytes(msg), computed without allocating.
+[[nodiscard]] std::size_t encoded_size(const Message& msg);
+
+/// Bytes a real deployment would put on the wire for `msg`: the encoded
+/// frame plus, for Gossip, the synthetic payload the header describes.
+/// This is the unit of the overhead-accounting experiment.
+[[nodiscard]] std::size_t wire_cost(const Message& msg);
+
+/// Parses a frame produced by encode(). Throws CheckError on malformed input.
+[[nodiscard]] Message decode(BinaryReader& reader);
+[[nodiscard]] Message decode_bytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace hyparview::wire

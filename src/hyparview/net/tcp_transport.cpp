@@ -1,0 +1,574 @@
+#include "hyparview/net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/common/binary.hpp"
+#include "hyparview/common/logging.hpp"
+
+namespace hyparview::net {
+namespace {
+
+constexpr std::size_t kLenPrefixBytes = 4;
+
+Fd make_tcp_socket() {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  HPV_CHECK_THROW(fd.valid(), "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+sockaddr_in make_addr(std::uint32_t ip, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ip);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::vector<std::uint8_t> frame_message(const wire::Message& msg) {
+  BinaryWriter body;
+  wire::encode(msg, body);
+  const auto& payload = body.bytes();
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kLenPrefixBytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<std::uint8_t>(len & 0xff));
+  frame.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  frame.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  frame.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+class TcpTransport::Listener final : public IoHandler {
+ public:
+  Listener(TcpTransport* transport, std::uint32_t ip, std::uint16_t port)
+      : transport_(transport) {
+    fd_ = make_tcp_socket();
+    const int one = 1;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = make_addr(ip, port);
+    HPV_CHECK_THROW(
+        ::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+        "bind() failed");
+    HPV_CHECK_THROW(::listen(fd_.get(), 128) == 0, "listen() failed");
+    socklen_t len = sizeof(addr);
+    HPV_CHECK(::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0);
+    bound_port_ = ntohs(addr.sin_port);
+    transport_->loop_.register_fd(fd_.get(), this, /*read=*/true,
+                                  /*write=*/false);
+  }
+
+  ~Listener() override { close(); }
+
+  void close() {
+    if (fd_.valid()) {
+      transport_->loop_.unregister_fd(fd_.get());
+      fd_.reset();
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  void on_readable() override;
+  void on_writable() override {}
+
+ private:
+  TcpTransport* transport_;
+  Fd fd_;
+  std::uint16_t bound_port_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+class TcpTransport::Connection final : public IoHandler {
+ public:
+  enum class State : std::uint8_t {
+    kConnecting,   ///< outbound dial in progress
+    kEstablished,  ///< traffic flows (peer known for outbound; inbound waits
+                   ///< for HELLO before delivering)
+    kClosed,
+  };
+
+  /// Outbound constructor: dials `peer`.
+  Connection(TcpTransport* transport, const NodeId& peer)
+      : transport_(transport), peer_(peer), inbound_(false) {
+    fd_ = make_tcp_socket();
+    sockaddr_in addr = make_addr(peer.ip, peer.port);
+    const int rc =
+        ::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0) {
+      state_ = State::kEstablished;
+      transport_->loop_.register_fd(fd_.get(), this, true, false);
+      send_hello();
+    } else if (errno == EINPROGRESS) {
+      state_ = State::kConnecting;
+      transport_->loop_.register_fd(fd_.get(), this, true, true);
+    } else {
+      state_ = State::kClosed;
+    }
+  }
+
+  /// Inbound constructor: accepted socket, peer unknown until HELLO.
+  Connection(TcpTransport* transport, Fd fd)
+      : transport_(transport),
+        peer_(kNoNode),
+        inbound_(true),
+        fd_(std::move(fd)) {
+    state_ = State::kEstablished;
+    const int one = 1;
+    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    transport_->loop_.register_fd(fd_.get(), this, true, false);
+    send_hello();
+  }
+
+  ~Connection() override {
+    *alive_flag_ = false;
+    detach();
+  }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const NodeId& peer() const { return peer_; }
+  [[nodiscard]] bool identified() const { return peer_ != kNoNode; }
+  [[nodiscard]] bool inbound() const { return inbound_; }
+
+  void add_connect_callback(std::function<void(bool)> cb) {
+    connect_callbacks_.push_back(std::move(cb));
+  }
+
+  /// Queues a frame (kept with its Message until flushed, for failure
+  /// reporting) and flushes opportunistically.
+  void send_message(const wire::Message& msg) {
+    if (state_ == State::kClosed) {
+      transport_->report_send_failed(peer_, msg);
+      return;
+    }
+    pending_.push_back(Pending{frame_message(msg), 0, msg});
+    if (state_ == State::kEstablished) flush();
+  }
+
+  /// Shutdown teardown: drop everything silently — no callbacks, no
+  /// endpoint notifications, no transport bookkeeping. The owning transport
+  /// (and possibly the endpoint) are being destroyed.
+  void abandon() {
+    expected_close_ = true;
+    connect_callbacks_.clear();
+    pending_.clear();
+    if (state_ != State::kClosed) {
+      state_ = State::kClosed;
+      detach();
+    }
+  }
+
+  /// Graceful close: flush pending frames (waiting out an in-progress dial
+  /// if needed), then close without notifying.
+  void close_graceful() {
+    expected_close_ = true;
+    if (state_ != State::kEstablished && state_ != State::kConnecting) {
+      close_now(/*notify=*/false, /*error=*/false);
+      return;
+    }
+    closing_after_flush_ = true;
+    if (state_ == State::kEstablished) {
+      if (pending_.empty()) {
+        half_close();
+      } else {
+        flush();
+      }
+    }
+    // kConnecting: on_writable() completes the dial and flushes, then the
+    // closing_after_flush_ flag triggers the half-close.
+  }
+
+  void close_now(bool notify, bool error) {
+    if (state_ == State::kClosed) return;
+    HPV_LOG_DEBUG("tcp %s: close conn to %s (notify=%d error=%d fd %d)",
+                  transport_->local_id().to_string().c_str(),
+                  peer_.to_string().c_str(), notify ? 1 : 0, error ? 1 : 0,
+                  fd_.get());
+    state_ = State::kClosed;
+    detach();
+    // Fail any connect waiters.
+    auto cbs = std::move(connect_callbacks_);
+    connect_callbacks_.clear();
+    for (auto& cb : cbs) cb(false);
+    transport_->on_closed(this, notify && !expected_close_ && error);
+    if (notify && !expected_close_) {
+      // Report undelivered frames so the failure detector semantics match
+      // the simulator (send_failed per queued message).
+      auto pending = std::move(pending_);
+      pending_.clear();
+      for (auto& p : pending) {
+        transport_->report_send_failed(peer_, p.msg);
+      }
+      if (identified()) transport_->report_link_closed(peer_);
+    }
+    transport_->remove_connection(this);
+    // `this` is destroyed here.
+  }
+
+  void on_readable() override {
+    if (state_ == State::kConnecting) {
+      on_writable();
+      if (state_ != State::kEstablished) return;
+    }
+    while (true) {
+      std::uint8_t buf[16 * 1024];
+      const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+      if (n > 0) {
+        if (draining_) continue;  // half-closed: discard until peer EOF
+        read_buf_.insert(read_buf_.end(), buf, buf + n);
+        if (!parse_frames()) return;  // fatal decode error closed us
+        continue;
+      }
+      if (n == 0) {
+        // Peer EOF. After our own graceful half-close this is the expected
+        // handshake completion; otherwise it is a failure signal.
+        close_now(/*notify=*/!draining_, /*error=*/!draining_);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_now(/*notify=*/!draining_, /*error=*/!draining_);
+      return;
+    }
+  }
+
+  void on_writable() override {
+    if (state_ == State::kConnecting) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        close_now(/*notify=*/true, /*error=*/true);
+        return;
+      }
+      state_ = State::kEstablished;
+      HPV_LOG_DEBUG("tcp %s: dial to %s completed (fd %d)",
+                    transport_->local_id().to_string().c_str(),
+                    peer_.to_string().c_str(), fd_.get());
+      transport_->loop_.update_fd(fd_.get(), true, false);
+      send_hello(/*prepend=*/true);
+      auto cbs = std::move(connect_callbacks_);
+      connect_callbacks_.clear();
+      for (auto& cb : cbs) cb(true);
+      transport_->on_connected(this);
+    }
+    flush();
+  }
+
+  void on_io_error() override { close_now(/*notify=*/true, /*error=*/true); }
+
+ private:
+  struct Pending {
+    std::vector<std::uint8_t> bytes;
+    std::size_t offset = 0;
+    wire::Message msg;
+  };
+
+  void detach() {
+    if (fd_.valid()) {
+      transport_->loop_.unregister_fd(fd_.get());
+      fd_.reset();
+    }
+  }
+
+  void send_hello(bool prepend = false) {
+    Pending hello{frame_message(wire::Hello{transport_->local_id()}), 0,
+                  wire::Hello{transport_->local_id()}};
+    if (prepend) {
+      pending_.push_front(std::move(hello));
+    } else {
+      pending_.push_back(std::move(hello));
+    }
+    flush();
+  }
+
+  void flush() {
+    if (state_ != State::kEstablished) return;
+    while (!pending_.empty()) {
+      Pending& p = pending_.front();
+      const ssize_t n = ::write(fd_.get(), p.bytes.data() + p.offset,
+                                p.bytes.size() - p.offset);
+      HPV_LOG_DEBUG("tcp %s: write %zd/%zu to %s (fd %d, errno %d)",
+                    transport_->local_id().to_string().c_str(), n,
+                    p.bytes.size() - p.offset,
+                    peer_.to_string().c_str(), fd_.get(), n < 0 ? errno : 0);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          transport_->loop_.update_fd(fd_.get(), true, true);
+          return;
+        }
+        if (errno == EINTR) continue;
+        close_now(/*notify=*/true, /*error=*/true);
+        return;
+      }
+      p.offset += static_cast<std::size_t>(n);
+      if (p.offset == p.bytes.size()) pending_.pop_front();
+    }
+    transport_->loop_.update_fd(fd_.get(), true, false);
+    if (closing_after_flush_) half_close();
+  }
+
+  /// Graceful TCP termination: send FIN but keep reading (and discarding)
+  /// until the peer closes too. Closing outright with unread inbound data
+  /// would trigger an RST that destroys our just-flushed frames in the
+  /// peer's receive queue.
+  void half_close() {
+    if (draining_ || state_ != State::kEstablished) return;
+    draining_ = true;
+    ::shutdown(fd_.get(), SHUT_WR);
+    // Reap the connection even if the peer never closes its side.
+    transport_->loop_.schedule(kDrainTimeout,
+                               [this, alive = alive_flag_] {
+                                 if (*alive) {
+                                   close_now(/*notify=*/false, /*error=*/false);
+                                 }
+                               });
+  }
+
+  /// Returns false if the connection was closed due to a malformed frame.
+  bool parse_frames() {
+    std::size_t consumed = 0;
+    while (read_buf_.size() - consumed >= kLenPrefixBytes) {
+      const std::uint8_t* base = read_buf_.data() + consumed;
+      const std::uint32_t len = static_cast<std::uint32_t>(base[0]) |
+                                (static_cast<std::uint32_t>(base[1]) << 8) |
+                                (static_cast<std::uint32_t>(base[2]) << 16) |
+                                (static_cast<std::uint32_t>(base[3]) << 24);
+      if (len > transport_->config_.max_frame_bytes) {
+        HPV_LOG_WARN("tcp: oversized frame (%u bytes) from %s; closing", len,
+                     peer_.to_string().c_str());
+        close_now(/*notify=*/true, /*error=*/true);
+        return false;
+      }
+      if (read_buf_.size() - consumed - kLenPrefixBytes < len) break;
+      try {
+        const wire::Message msg = wire::decode_bytes(
+            {base + kLenPrefixBytes, static_cast<std::size_t>(len)});
+        consumed += kLenPrefixBytes + len;
+        handle_frame(msg);
+        if (state_ == State::kClosed) return false;
+      } catch (const CheckError& err) {
+        HPV_LOG_WARN("tcp: malformed frame from %s: %s",
+                     peer_.to_string().c_str(), err.what());
+        close_now(/*notify=*/true, /*error=*/true);
+        return false;
+      }
+    }
+    read_buf_.erase(read_buf_.begin(),
+                    read_buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    return true;
+  }
+
+  void handle_frame(const wire::Message& msg) {
+    if (const auto* hello = std::get_if<wire::Hello>(&msg)) {
+      if (!identified()) {
+        peer_ = hello->node_id;
+        transport_->on_identified(this);
+      }
+      return;
+    }
+    if (!identified()) {
+      HPV_LOG_WARN("tcp: frame before HELLO; closing");
+      close_now(/*notify=*/false, /*error=*/true);
+      return;
+    }
+    transport_->on_frame(this, msg);
+  }
+
+  static constexpr Duration kDrainTimeout = seconds(5);
+
+  TcpTransport* transport_;
+  NodeId peer_;
+  bool inbound_;
+  Fd fd_;
+  State state_ = State::kClosed;
+  bool expected_close_ = false;
+  bool closing_after_flush_ = false;
+  bool draining_ = false;
+  std::deque<Pending> pending_;
+  std::vector<std::uint8_t> read_buf_;
+  std::vector<std::function<void(bool)>> connect_callbacks_;
+  /// Guards deferred timers against the connection being deleted first.
+  std::shared_ptr<bool> alive_flag_ = std::make_shared<bool>(true);
+
+  friend class TcpTransport;
+};
+
+void TcpTransport::Listener::on_readable() {
+  while (true) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    const int fd = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                             &len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      HPV_LOG_WARN("tcp: accept failed: errno=%d", errno);
+      return;
+    }
+    HPV_LOG_DEBUG("tcp %s: accepted fd %d",
+                  transport_->local_id().to_string().c_str(), fd);
+    transport_->adopt_inbound(
+        std::make_unique<Connection>(transport_, Fd(fd)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+TcpTransport::TcpTransport(EventLoop& loop, membership::Endpoint* endpoint,
+                           TcpTransportConfig config)
+    : loop_(loop),
+      endpoint_(endpoint),
+      config_(config),
+      rng_(config.rng_seed) {
+  listener_ = std::make_unique<Listener>(this, config_.bind_ip,
+                                         config_.bind_port);
+  local_id_ = NodeId{config_.bind_ip, listener_->port()};
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  if (listener_ != nullptr) listener_->close();
+  // Steal the list first so nothing re-enters connections_ while we drop
+  // every connection without callbacks (the endpoint may already be gone).
+  std::vector<std::unique_ptr<Connection>> doomed;
+  doomed.swap(connections_);
+  for (auto& conn : doomed) conn->abandon();
+  by_peer_.clear();
+}
+
+std::size_t TcpTransport::connection_count() const {
+  return connections_.size();
+}
+
+TcpTransport::Connection* TcpTransport::find_connection(const NodeId& peer) {
+  const auto it = by_peer_.find(peer.raw());
+  return it == by_peer_.end() ? nullptr : it->second;
+}
+
+TcpTransport::Connection* TcpTransport::dial(const NodeId& peer) {
+  auto owned = std::make_unique<Connection>(this, peer);
+  Connection* conn = owned.get();
+  if (conn->state() == Connection::State::kClosed) {
+    return nullptr;  // immediate dial failure (no route etc.)
+  }
+  connections_.push_back(std::move(owned));
+  by_peer_[peer.raw()] = conn;
+  return conn;
+}
+
+void TcpTransport::adopt_inbound(std::unique_ptr<Connection> conn) {
+  // Drop connections that died in their constructor (instant write error)
+  // and anything accepted mid-shutdown.
+  if (shutdown_ || conn->state() == Connection::State::kClosed) return;
+  connections_.push_back(std::move(conn));
+}
+
+void TcpTransport::send(const NodeId& to, wire::Message msg) {
+  HPV_CHECK(to != local_id_);
+  if (shutdown_) return;
+  Connection* conn = find_connection(to);
+  if (conn == nullptr) {
+    conn = dial(to);
+    if (conn == nullptr) {
+      report_send_failed(to, msg);
+      return;
+    }
+  }
+  conn->send_message(msg);
+}
+
+void TcpTransport::connect(const NodeId& to, std::function<void(bool)> cb) {
+  if (shutdown_) return;
+  Connection* conn = find_connection(to);
+  if (conn == nullptr) conn = dial(to);
+  if (conn == nullptr) {
+    loop_.schedule(0, [cb = std::move(cb)] { cb(false); });
+    return;
+  }
+  if (conn->state() == Connection::State::kEstablished) {
+    loop_.schedule(0, [cb = std::move(cb)] { cb(true); });
+    return;
+  }
+  conn->add_connect_callback(std::move(cb));
+}
+
+void TcpTransport::disconnect(const NodeId& to) {
+  Connection* conn = find_connection(to);
+  if (conn == nullptr) return;
+  by_peer_.erase(to.raw());
+  conn->close_graceful();
+}
+
+void TcpTransport::schedule(Duration delay, std::function<void()> fn) {
+  loop_.schedule(delay, std::move(fn));
+}
+
+void TcpTransport::on_connected(Connection* /*conn*/) {}
+
+void TcpTransport::on_identified(Connection* conn) {
+  // Keep the first mapping if we already have a live connection (e.g. both
+  // sides dialed simultaneously); the extra connection still delivers reads.
+  const auto key = conn->peer().raw();
+  if (!by_peer_.contains(key)) by_peer_[key] = conn;
+}
+
+void TcpTransport::on_frame(Connection* conn, const wire::Message& msg) {
+  if (endpoint_ != nullptr) endpoint_->deliver(conn->peer(), msg);
+}
+
+void TcpTransport::on_closed(Connection* conn, bool /*error*/) {
+  const auto it = by_peer_.find(conn->peer().raw());
+  if (it != by_peer_.end() && it->second == conn) by_peer_.erase(it);
+}
+
+void TcpTransport::report_send_failed(const NodeId& to,
+                                      const wire::Message& msg) {
+  if (endpoint_ != nullptr && !std::holds_alternative<wire::Hello>(msg)) {
+    endpoint_->send_failed(to, msg);
+  }
+}
+
+void TcpTransport::report_link_closed(const NodeId& peer) {
+  if (endpoint_ != nullptr) endpoint_->link_closed(peer);
+}
+
+void TcpTransport::remove_connection(Connection* conn) {
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i].get() == conn) {
+      // Deleting `conn` inside one of its own callbacks is unsafe; defer.
+      auto owned = std::move(connections_[i]);
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+      loop_.schedule(0, [owned = std::shared_ptr<Connection>(
+                             owned.release())]() mutable { owned.reset(); });
+      return;
+    }
+  }
+}
+
+}  // namespace hyparview::net

@@ -1,0 +1,108 @@
+// TCP transport: the membership::Env implementation over real sockets.
+//
+// Realizes the deployment model the paper assumes (§4):
+//  * one persistent connection per active-view neighbor, dialed on demand
+//    and kept open (connection cache);
+//  * length-prefixed binary frames (wire::encode); the first frame on every
+//    connection is a HELLO carrying the dialer's listening address, since
+//    inbound ephemeral ports do not identify nodes;
+//  * write/connect errors surface as Endpoint::send_failed — TCP is the
+//    failure detector;
+//  * disconnect() flushes pending frames and then closes (so a DISCONNECT
+//    notification sent immediately before is not lost).
+//
+// Threading: everything runs on the owning EventLoop's thread. Multiple
+// transports (nodes) may share one loop, which is how the in-process
+// cluster tests and the tcp_cluster example run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/common/rng.hpp"
+#include "hyparview/membership/endpoint.hpp"
+#include "hyparview/membership/env.hpp"
+#include "hyparview/net/event_loop.hpp"
+#include "hyparview/net/fd.hpp"
+
+namespace hyparview::net {
+
+struct TcpTransportConfig {
+  /// Address to bind; port 0 picks an ephemeral port.
+  std::uint32_t bind_ip = 0x7F000001;  // 127.0.0.1
+  std::uint16_t bind_port = 0;
+  /// Frames larger than this are rejected as malformed.
+  std::uint32_t max_frame_bytes = 1u << 20;
+  /// Seed for this node's Env rng.
+  std::uint64_t rng_seed = 1;
+};
+
+class TcpTransport final : public membership::Env {
+ public:
+  /// Binds and starts listening immediately; local_id() is valid after
+  /// construction. `endpoint` receives upcalls on the loop thread.
+  TcpTransport(EventLoop& loop, membership::Endpoint* endpoint,
+               TcpTransportConfig config);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] NodeId local_id() const { return local_id_; }
+  void set_endpoint(membership::Endpoint* endpoint) { endpoint_ = endpoint; }
+
+  /// Closes the listener and every connection (no notifications emitted).
+  void shutdown();
+
+  /// Number of open (or connecting) peer connections.
+  [[nodiscard]] std::size_t connection_count() const;
+
+  // --- membership::Env -------------------------------------------------------
+  [[nodiscard]] NodeId self() const override { return local_id_; }
+  [[nodiscard]] TimePoint now() const override { return loop_.now(); }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+  void send(const NodeId& to, wire::Message msg) override;
+  void connect(const NodeId& to, std::function<void(bool)> cb) override;
+  void disconnect(const NodeId& to) override;
+  void schedule(Duration delay, std::function<void()> fn) override;
+
+ private:
+  class Listener;
+  class Connection;
+  friend class Connection;
+
+  Connection* find_connection(const NodeId& peer);
+  Connection* dial(const NodeId& peer);
+  void adopt_inbound(std::unique_ptr<Connection> conn);
+
+  /// Called by connections when their state changes.
+  void on_connected(Connection* conn);
+  void on_identified(Connection* conn);
+  void on_frame(Connection* conn, const wire::Message& msg);
+  void on_closed(Connection* conn, bool error);
+
+  void report_send_failed(const NodeId& to, const wire::Message& msg);
+  void report_link_closed(const NodeId& peer);
+
+  void remove_connection(Connection* conn);
+
+  EventLoop& loop_;
+  membership::Endpoint* endpoint_;
+  TcpTransportConfig config_;
+  NodeId local_id_;
+  Rng rng_;
+
+  std::unique_ptr<Listener> listener_;
+  /// Established/dialing connections keyed by peer id.
+  std::unordered_map<std::uint64_t, Connection*> by_peer_;
+  /// All live connections (including unidentified inbound ones).
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool shutdown_ = false;
+};
+
+}  // namespace hyparview::net

@@ -1,0 +1,416 @@
+#include "hyparview/sim/simulator.hpp"
+
+#include <algorithm>
+#include <variant>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/common/logging.hpp"
+
+namespace hyparview::sim {
+
+/// membership::Env implementation bound to one simulated node.
+class SimEnv final : public membership::Env {
+ public:
+  SimEnv(Simulator* sim, std::uint32_t index, std::uint64_t seed)
+      : sim_(sim), index_(index), rng_(seed) {}
+
+  [[nodiscard]] NodeId self() const override {
+    return NodeId::from_index(index_);
+  }
+
+  [[nodiscard]] TimePoint now() const override { return sim_->now(); }
+
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  void send(const NodeId& to, wire::Message msg) override {
+    sim_->do_send(index_, to.ip, std::move(msg));
+  }
+
+  void connect(const NodeId& to, std::function<void(bool)> cb) override {
+    sim_->do_connect(index_, to.ip, std::move(cb));
+  }
+
+  void disconnect(const NodeId& to) override {
+    sim_->do_disconnect(index_, to.ip);
+  }
+
+  void schedule(Duration delay, std::function<void()> fn) override {
+    sim_->do_schedule(index_, delay, std::move(fn));
+  }
+
+ private:
+  Simulator* sim_;
+  std::uint32_t index_;
+  Rng rng_;
+};
+
+Simulator::Simulator(SimConfig config)
+    : config_(config),
+      master_rng_(derive_seed(config.seed, 0)),
+      latency_rng_(derive_seed(config.seed, 1)),
+      sent_by_type_(std::variant_size_v<wire::Message>, 0),
+      bytes_by_type_(std::variant_size_v<wire::Message>, 0) {
+  HPV_CHECK(config_.latency_min >= 0 &&
+            config_.latency_max >= config_.latency_min);
+}
+
+Simulator::~Simulator() = default;
+
+NodeId Simulator::add_node(Handler* handler) {
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  SimNode node;
+  node.handler = handler;
+  node.alive = true;
+  // Stream ids 0/1 are the master/latency streams; nodes start at 2.
+  node.env = std::make_unique<SimEnv>(this, index,
+                                      derive_seed(config_.seed, 2 + index));
+  nodes_.push_back(std::move(node));
+  ++alive_count_;
+  return NodeId::from_index(index);
+}
+
+void Simulator::set_handler(const NodeId& id, Handler* handler) {
+  HPV_CHECK(id.ip < nodes_.size());
+  nodes_[id.ip].handler = handler;
+}
+
+bool Simulator::alive(const NodeId& id) const {
+  HPV_CHECK(id.ip < nodes_.size());
+  return nodes_[id.ip].alive;
+}
+
+void Simulator::crash(const NodeId& id) {
+  HPV_CHECK(id.ip < nodes_.size());
+  SimNode& node = nodes_[id.ip];
+  if (!node.alive) return;
+  node.alive = false;
+  node.blocked = false;
+  node.inbox.clear();
+  --alive_count_;
+  if (config_.notify_on_crash) {
+    for (const Link& link : node.links) {
+      // The peer's side of the link is removed when the notification is
+      // dispatched (it may be suppressed if the peer closes first).
+      const Link* peer_side = link_find(nodes_[link.peer].links, id.ip);
+      if (peer_side == nullptr) continue;
+      Event ev;
+      ev.at = now_ + config_.failure_detect_delay;
+      ev.kind = EventKind::kLinkClosed;
+      ev.node = link.peer;
+      ev.peer = id.ip;
+      ev.link_gen = peer_side->gen;
+      push_event(std::move(ev));
+    }
+    node.links.clear();
+  }
+  // In detect-on-send mode the links stay in peers' tables; the next send
+  // over them fails, which is exactly how the paper's failure detector works.
+}
+
+void Simulator::block(const NodeId& id) {
+  HPV_CHECK(id.ip < nodes_.size());
+  SimNode& node = nodes_[id.ip];
+  if (node.alive) node.blocked = true;
+}
+
+void Simulator::unblock(const NodeId& id) {
+  HPV_CHECK(id.ip < nodes_.size());
+  SimNode& node = nodes_[id.ip];
+  if (!node.blocked) return;
+  node.blocked = false;
+  // Deliver the backlog in arrival order (the consumer catches up): a
+  // single shared delay plus the sequence-number tie break preserves it.
+  std::vector<QueuedMessage> backlog;
+  backlog.swap(node.inbox);
+  const Duration delay = draw_latency();
+  for (auto& queued : backlog) {
+    Event ev;
+    ev.kind = queued.is_close ? EventKind::kLinkClosed : EventKind::kDeliver;
+    ev.ok = queued.is_close;  // forced replay: skip the suppression check
+    ev.at = now_ + delay;
+    ev.node = id.ip;
+    ev.peer = queued.from;
+    ev.msg = std::move(queued.msg);
+    push_event(std::move(ev));
+  }
+}
+
+bool Simulator::blocked(const NodeId& id) const {
+  HPV_CHECK(id.ip < nodes_.size());
+  return nodes_[id.ip].blocked;
+}
+
+membership::Env& Simulator::env(const NodeId& id) {
+  HPV_CHECK(id.ip < nodes_.size());
+  return *nodes_[id.ip].env;
+}
+
+std::uint64_t Simulator::run_until_quiescent() {
+  std::uint64_t processed = 0;
+  while (step()) {
+    ++processed;
+    HPV_CHECK(processed <= config_.max_events_per_drain);
+  }
+  return processed;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.pop();
+  HPV_ASSERT(ev.at >= now_);
+  now_ = ev.at;
+  dispatch(ev);
+  return true;
+}
+
+bool Simulator::linked(const NodeId& a, const NodeId& b) const {
+  HPV_CHECK(a.ip < nodes_.size() && b.ip < nodes_.size());
+  return link_has(nodes_[a.ip].links, b.ip);
+}
+
+std::size_t Simulator::link_count(const NodeId& id) const {
+  HPV_CHECK(id.ip < nodes_.size());
+  return nodes_[id.ip].links.size();
+}
+
+void Simulator::reset_counters() {
+  sent_total_ = 0;
+  delivered_total_ = 0;
+  send_failures_ = 0;
+  std::fill(sent_by_type_.begin(), sent_by_type_.end(), 0);
+  bytes_total_ = 0;
+  std::fill(bytes_by_type_.begin(), bytes_by_type_.end(), 0);
+  connections_opened_ = 0;
+}
+
+void Simulator::do_send(std::uint32_t from, std::uint32_t to,
+                        wire::Message msg) {
+  HPV_CHECK(to < nodes_.size());
+  // Dead nodes initiate nothing; blocked nodes are frozen applications.
+  if (!nodes_[from].alive || nodes_[from].blocked) return;
+  ++sent_total_;
+  ++sent_by_type_[wire::type_tag(msg)];
+  const std::uint64_t cost = wire::wire_cost(msg);
+  bytes_total_ += cost;
+  bytes_by_type_[wire::type_tag(msg)] += cost;
+
+  Event ev;
+  ev.node = to;
+  ev.peer = from;
+  ev.msg = std::move(msg);
+  if (!nodes_[to].alive) {
+    // TCP write against a crashed peer: fails back to the sender after the
+    // detection delay. The link, if any, is torn down.
+    link_remove(nodes_[from].links, to);
+    ev.kind = EventKind::kSendFailed;
+    ev.at = now_ + config_.failure_detect_delay;
+    ev.node = from;
+    ev.peer = to;
+    push_event(std::move(ev));
+    return;
+  }
+  // Implicit connection establishment, as with a TCP dial-on-demand cache.
+  if (!link_has(nodes_[from].links, to)) {
+    link_add(nodes_[from].links, to);
+    link_add(nodes_[to].links, from);
+    ++connections_opened_;
+  }
+  ev.kind = EventKind::kDeliver;
+  ev.at = arrival_time(from, to);
+  push_event(std::move(ev));
+}
+
+void Simulator::do_connect(std::uint32_t from, std::uint32_t to,
+                           std::function<void(bool)> cb) {
+  HPV_CHECK(to < nodes_.size());
+  if (!nodes_[from].alive) return;
+  Event ev;
+  ev.kind = EventKind::kConnectResult;
+  ev.at = now_ + (nodes_[to].alive ? draw_latency()
+                                   : config_.failure_detect_delay);
+  ev.node = from;
+  ev.peer = to;
+  ev.connect_cb = std::move(cb);
+  push_event(std::move(ev));
+}
+
+void Simulator::do_disconnect(std::uint32_t from, std::uint32_t to) {
+  HPV_CHECK(to < nodes_.size());
+  link_remove(nodes_[from].links, to);
+  // TCP semantics: the remote side observes our FIN *after* any in-flight
+  // data (the FIFO arrival clamp guarantees that ordering). If the remote
+  // closes its own side first — e.g. because a DISCONNECT message told it
+  // to — or the pair reconnects meanwhile (new generation), the
+  // notification is suppressed at dispatch.
+  const Link* remote_side =
+      nodes_[to].alive ? link_find(nodes_[to].links, from) : nullptr;
+  if (remote_side != nullptr) {
+    Event ev;
+    ev.at = arrival_time(from, to) + config_.failure_detect_delay;
+    ev.kind = EventKind::kLinkClosed;
+    ev.node = to;
+    ev.peer = from;
+    ev.link_gen = remote_side->gen;
+    push_event(std::move(ev));
+  }
+}
+
+void Simulator::do_schedule(std::uint32_t node, Duration delay,
+                            std::function<void()> fn) {
+  HPV_CHECK(delay >= 0);
+  Event ev;
+  ev.kind = EventKind::kTask;
+  ev.at = now_ + delay;
+  ev.node = node;
+  ev.task = std::move(fn);
+  push_event(std::move(ev));
+}
+
+void Simulator::push_event(Event ev) {
+  ev.seq = next_seq_++;
+  queue_.push(std::move(ev));
+}
+
+void Simulator::dispatch(Event& ev) {
+  SimNode& node = nodes_[ev.node];
+  switch (ev.kind) {
+    case EventKind::kDeliver: {
+      if (!node.alive) {
+        // Target crashed while the message was in flight: the sender's TCP
+        // stack notices (RST / timeout) and reports the failure.
+        if (nodes_[ev.peer].alive) {
+          link_remove(nodes_[ev.peer].links, ev.node);
+          link_remove(node.links, ev.peer);
+          Event fail;
+          fail.kind = EventKind::kSendFailed;
+          fail.at = now_ + config_.failure_detect_delay;
+          fail.node = ev.peer;
+          fail.peer = ev.node;
+          fail.msg = std::move(ev.msg);
+          push_event(std::move(fail));
+        }
+        return;
+      }
+      if (node.blocked) {
+        // Slow consumer (§5.5): buffer up to the per-sender flow-control
+        // window, then fail back to the sender as if the node had crashed.
+        std::size_t from_sender = 0;
+        for (const auto& queued : node.inbox) {
+          if (queued.from == ev.peer && !queued.is_close) ++from_sender;
+        }
+        if (from_sender < config_.link_send_buffer) {
+          node.inbox.push_back(
+              QueuedMessage{ev.peer, std::move(ev.msg), /*is_close=*/false});
+          return;
+        }
+        if (nodes_[ev.peer].alive) {
+          link_remove(nodes_[ev.peer].links, ev.node);
+          link_remove(node.links, ev.peer);
+          Event fail;
+          fail.kind = EventKind::kSendFailed;
+          fail.at = now_ + config_.failure_detect_delay;
+          fail.node = ev.peer;
+          fail.peer = ev.node;
+          fail.msg = std::move(ev.msg);
+          push_event(std::move(fail));
+        }
+        return;
+      }
+      ++delivered_total_;
+      if (node.handler != nullptr) {
+        node.handler->deliver(NodeId::from_index(ev.peer), ev.msg);
+      }
+      return;
+    }
+    case EventKind::kSendFailed: {
+      ++send_failures_;
+      if (!node.alive) return;
+      if (node.handler != nullptr) {
+        node.handler->send_failed(NodeId::from_index(ev.peer), ev.msg);
+      }
+      return;
+    }
+    case EventKind::kConnectResult: {
+      if (!node.alive) return;
+      const bool ok = nodes_[ev.peer].alive;
+      if (ok && !link_has(node.links, ev.peer)) {
+        link_add(node.links, ev.peer);
+        link_add(nodes_[ev.peer].links, ev.node);
+        ++connections_opened_;
+      }
+      if (ev.connect_cb) ev.connect_cb(ok);
+      return;
+    }
+    case EventKind::kTask: {
+      // Frozen applications miss their timers (they fire into a stuck
+      // process); dead ones are gone.
+      if (!node.alive || node.blocked) return;
+      if (ev.task) ev.task();
+      return;
+    }
+    case EventKind::kLinkClosed: {
+      if (!node.alive) return;
+      // ev.ok marks a forced replay from a drained inbox; otherwise the
+      // notification only fires if our side of *that* link instance is
+      // still open (close-vs-close races resolve silently, like mutual
+      // FINs, and reconnections have a fresh generation).
+      if (!ev.ok) {
+        const Link* side = link_find(node.links, ev.peer);
+        if (side == nullptr || side->gen != ev.link_gen) return;
+        link_remove(node.links, ev.peer);
+      }
+      if (node.blocked) {
+        node.inbox.push_back(QueuedMessage{ev.peer, {}, /*is_close=*/true});
+        return;
+      }
+      if (node.handler != nullptr) {
+        node.handler->link_closed(NodeId::from_index(ev.peer));
+      }
+      return;
+    }
+  }
+}
+
+Duration Simulator::draw_latency() {
+  if (config_.latency_max == config_.latency_min) return config_.latency_min;
+  return config_.latency_min +
+         static_cast<Duration>(latency_rng_.below(static_cast<std::uint64_t>(
+             config_.latency_max - config_.latency_min + 1)));
+}
+
+TimePoint Simulator::arrival_time(std::uint32_t from, std::uint32_t to) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  TimePoint at = now_ + draw_latency();
+  const auto it = last_arrival_.find(key);
+  if (it != last_arrival_.end() && it->second > at) at = it->second;
+  last_arrival_[key] = at;
+  return at;
+}
+
+void Simulator::link_add(std::vector<Link>& links, std::uint32_t peer) {
+  if (!link_has(links, peer)) links.push_back(Link{peer, next_link_gen_++});
+}
+
+void Simulator::link_remove(std::vector<Link>& links, std::uint32_t peer) {
+  const auto it =
+      std::find_if(links.begin(), links.end(),
+                   [&](const Link& l) { return l.peer == peer; });
+  if (it != links.end()) {
+    *it = links.back();
+    links.pop_back();
+  }
+}
+
+const Simulator::Link* Simulator::link_find(const std::vector<Link>& links,
+                                            std::uint32_t peer) {
+  const auto it =
+      std::find_if(links.begin(), links.end(),
+                   [&](const Link& l) { return l.peer == peer; });
+  return it == links.end() ? nullptr : &*it;
+}
+
+bool Simulator::link_has(const std::vector<Link>& links, std::uint32_t peer) {
+  return link_find(links, peer) != nullptr;
+}
+
+}  // namespace hyparview::sim

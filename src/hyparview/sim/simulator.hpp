@@ -1,0 +1,235 @@
+// Deterministic discrete-event network simulator (PeerSim equivalent).
+//
+// Models the paper's evaluation substrate:
+//  * reliable, connection-oriented message delivery with uniform random
+//    latency (TCP over a well-provisioned network);
+//  * crash failures with *detect-on-send* semantics by default — crashing a
+//    node does not announce anything, the next send/connect to it fails back
+//    to the caller, exactly the "TCP as failure detector" model of §4;
+//  * optional notify-on-crash mode (ablation A3) where open links deliver
+//    on_link_closed to peers when a node dies;
+//  * deterministic execution: a single master seed derives independent
+//    per-node RNG streams, and the event queue breaks time ties by sequence
+//    number.
+//
+// Periodic membership behaviour is *not* timer-driven here: the harness calls
+// Protocol::on_cycle explicitly so experiments can count membership rounds
+// the way the paper does, and run_until_quiescent() has a precise meaning
+// (all reactive traffic has drained).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/common/rng.hpp"
+#include "hyparview/common/time.hpp"
+#include "hyparview/membership/endpoint.hpp"
+#include "hyparview/membership/env.hpp"
+#include "hyparview/membership/wire.hpp"
+#include "hyparview/sim/min_heap.hpp"
+
+namespace hyparview::sim {
+
+struct SimConfig {
+  std::uint64_t seed = 42;
+  /// One-way message latency, uniform in [latency_min, latency_max].
+  Duration latency_min = microseconds(500);
+  Duration latency_max = microseconds(1500);
+  /// How long a failed send/connect takes to report back to the caller.
+  Duration failure_detect_delay = milliseconds(1);
+  /// Crash announcement: false = detect-on-send (paper model), true = peers
+  /// holding open links get on_link_closed (ablation).
+  bool notify_on_crash = false;
+  /// Frames buffered toward a *blocked* (slow) node per sender before the
+  /// sender's flow control gives up and reports a send failure — the §5.5
+  /// NeEM-style rule that treats slow nodes as failed so TCP backpressure
+  /// cannot freeze the overlay.
+  std::size_t link_send_buffer = 16;
+  /// Abort the run if a single run_until_quiescent() exceeds this many
+  /// events (guards against accidental self-sustaining event loops).
+  std::uint64_t max_events_per_drain = 2'000'000'000ull;
+};
+
+/// Per-node upcall interface; implemented by gossip::NodeRuntime.
+using Handler = membership::Endpoint;
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a node; ids are dense indices (NodeId::from_index).
+  /// The handler must outlive the simulator (or be detached via set_handler).
+  NodeId add_node(Handler* handler);
+
+  void set_handler(const NodeId& id, Handler* handler);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool alive(const NodeId& id) const;
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  /// Crashes a node: it stops receiving and initiating everything.
+  void crash(const NodeId& id);
+
+  /// Marks a node *blocked* (slow consumer, §5.5): it stays alive but stops
+  /// processing. Inbound messages queue up to `link_send_buffer` per sender;
+  /// beyond that the sender gets a send failure, which reactive protocols
+  /// treat exactly like a crash (the node is expelled from active views).
+  void block(const NodeId& id);
+
+  /// Unblocks a node: queued messages are delivered (in arrival order) and
+  /// it resumes normal operation.
+  void unblock(const NodeId& id);
+
+  [[nodiscard]] bool blocked(const NodeId& id) const;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Harness-level random stream (failure selection, source selection...).
+  [[nodiscard]] Rng& rng() { return master_rng_; }
+
+  /// The Env to hand to protocol instances running at `id`.
+  [[nodiscard]] membership::Env& env(const NodeId& id);
+
+  /// Processes events until the queue is empty. Returns events processed.
+  std::uint64_t run_until_quiescent();
+
+  /// Processes a single event. Returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+
+  /// True if a link between a and b is currently open.
+  [[nodiscard]] bool linked(const NodeId& a, const NodeId& b) const;
+
+  /// Open-link count for a node (diagnostics).
+  [[nodiscard]] std::size_t link_count(const NodeId& id) const;
+
+  // --- Traffic counters (overhead analysis & tests) ------------------------
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_total_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return delivered_total_;
+  }
+  [[nodiscard]] std::uint64_t sends_failed() const { return send_failures_; }
+  /// Per-message-type send counts, indexed by wire::type_tag.
+  [[nodiscard]] const std::vector<std::uint64_t>& sent_by_type() const {
+    return sent_by_type_;
+  }
+  /// Total wire bytes sent (wire::wire_cost of every send; PlanetLab
+  /// packet-overhead measurement of §6).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_total_; }
+  /// Per-message-type wire bytes, indexed by wire::type_tag.
+  [[nodiscard]] const std::vector<std::uint64_t>& bytes_by_type() const {
+    return bytes_by_type_;
+  }
+  /// Connection establishments (implicit dial-on-send and explicit
+  /// connect()), the TCP handshakes a deployment would pay for.
+  [[nodiscard]] std::uint64_t connections_opened() const {
+    return connections_opened_;
+  }
+  void reset_counters();
+
+ private:
+  friend class SimEnv;
+
+  enum class EventKind : std::uint8_t {
+    kDeliver,
+    kSendFailed,
+    kConnectResult,
+    kTask,
+    kLinkClosed,
+  };
+
+  struct Event {
+    TimePoint at = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kTask;
+    std::uint32_t node = 0;  ///< event target node index
+    std::uint32_t peer = 0;  ///< other endpoint where applicable
+    bool ok = false;
+    /// For kLinkClosed: the generation of the link instance being closed,
+    /// so a stale FIN cannot tear down a newer connection between the same
+    /// pair (TCP connections have identity).
+    std::uint64_t link_gen = 0;
+    wire::Message msg;
+    std::function<void()> task;
+    std::function<void(bool)> connect_cb;
+  };
+
+  struct EventLess {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
+    }
+  };
+
+  struct QueuedMessage {
+    std::uint32_t from = 0;
+    wire::Message msg;
+    bool is_close = false;  ///< a buffered link-closed notification
+  };
+
+  /// One endpoint's half of an open connection.
+  struct Link {
+    std::uint32_t peer = 0;
+    std::uint64_t gen = 0;  ///< connection-instance identity
+  };
+
+  struct SimNode {
+    Handler* handler = nullptr;
+    bool alive = true;
+    bool blocked = false;
+    std::vector<Link> links;           ///< open connections (symmetric)
+    std::vector<QueuedMessage> inbox;  ///< buffered while blocked
+    std::unique_ptr<membership::Env> env;
+  };
+
+  void do_send(std::uint32_t from, std::uint32_t to, wire::Message msg);
+  void do_connect(std::uint32_t from, std::uint32_t to,
+                  std::function<void(bool)> cb);
+  void do_disconnect(std::uint32_t from, std::uint32_t to);
+  void do_schedule(std::uint32_t node, Duration delay,
+                   std::function<void()> fn);
+
+  void push_event(Event ev);
+  void dispatch(Event& ev);
+  Duration draw_latency();
+
+  /// Delivery time respecting per-directed-link FIFO (TCP stream order).
+  TimePoint arrival_time(std::uint32_t from, std::uint32_t to);
+
+  void link_add(std::vector<Link>& links, std::uint32_t peer);
+  static void link_remove(std::vector<Link>& links, std::uint32_t peer);
+  static const Link* link_find(const std::vector<Link>& links,
+                               std::uint32_t peer);
+  static bool link_has(const std::vector<Link>& links, std::uint32_t peer);
+
+  SimConfig config_;
+  Rng master_rng_;
+  Rng latency_rng_;
+  std::vector<SimNode> nodes_;
+  MinHeap<Event, EventLess> queue_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_link_gen_ = 1;
+  std::size_t alive_count_ = 0;
+  /// Last scheduled arrival per directed pair (raw key from<<32|to).
+  std::unordered_map<std::uint64_t, TimePoint> last_arrival_;
+
+  std::uint64_t sent_total_ = 0;
+  std::uint64_t delivered_total_ = 0;
+  std::uint64_t send_failures_ = 0;
+  std::vector<std::uint64_t> sent_by_type_;
+  std::uint64_t bytes_total_ = 0;
+  std::vector<std::uint64_t> bytes_by_type_;
+  std::uint64_t connections_opened_ = 0;
+};
+
+}  // namespace hyparview::sim

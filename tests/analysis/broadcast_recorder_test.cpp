@@ -1,0 +1,88 @@
+#include "hyparview/analysis/broadcast_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyparview::analysis {
+namespace {
+
+NodeId nid(std::uint32_t i) { return NodeId::from_index(i); }
+
+TEST(BroadcastRecorderTest, CountsDeliveriesAndHops) {
+  BroadcastRecorder rec;
+  rec.begin_message(1, 10);
+  rec.on_deliver(nid(0), 1, 0);
+  rec.on_deliver(nid(1), 1, 1);
+  rec.on_deliver(nid(2), 1, 3);
+  const MessageResult& r = rec.result(1);
+  EXPECT_EQ(r.delivered, 3u);
+  EXPECT_EQ(r.alive_nodes, 10u);
+  EXPECT_EQ(r.max_hops, 3u);
+  EXPECT_EQ(r.hop_sum, 4u);
+  EXPECT_DOUBLE_EQ(r.reliability(), 0.3);
+}
+
+TEST(BroadcastRecorderTest, TracksDuplicates) {
+  BroadcastRecorder rec;
+  rec.begin_message(1, 4);
+  rec.on_deliver(nid(0), 1, 0);
+  rec.on_duplicate(nid(0), 1);
+  rec.on_duplicate(nid(1), 1);
+  EXPECT_EQ(rec.result(1).duplicates, 2u);
+  EXPECT_EQ(rec.total_duplicates(), 2u);
+}
+
+TEST(BroadcastRecorderTest, IgnoresUnregisteredMessages) {
+  BroadcastRecorder rec;
+  rec.on_deliver(nid(0), 99, 0);  // no begin_message(99)
+  rec.on_duplicate(nid(0), 99);
+  EXPECT_TRUE(rec.results().empty());
+}
+
+TEST(BroadcastRecorderTest, AverageReliabilityAcrossMessages) {
+  BroadcastRecorder rec;
+  rec.begin_message(1, 4);
+  rec.on_deliver(nid(0), 1, 0);
+  rec.on_deliver(nid(1), 1, 1);  // 2/4
+  rec.begin_message(2, 4);
+  rec.on_deliver(nid(0), 2, 0);
+  rec.on_deliver(nid(1), 2, 1);
+  rec.on_deliver(nid(2), 2, 1);
+  rec.on_deliver(nid(3), 2, 2);  // 4/4
+  EXPECT_DOUBLE_EQ(rec.average_reliability(), 0.75);
+}
+
+TEST(BroadcastRecorderTest, AverageMaxHops) {
+  BroadcastRecorder rec;
+  rec.begin_message(1, 2);
+  rec.on_deliver(nid(0), 1, 4);
+  rec.begin_message(2, 2);
+  rec.on_deliver(nid(0), 2, 8);
+  EXPECT_DOUBLE_EQ(rec.average_max_hops(), 6.0);
+}
+
+TEST(BroadcastRecorderTest, ZeroAliveYieldsZeroReliability) {
+  MessageResult r;
+  r.alive_nodes = 0;
+  EXPECT_DOUBLE_EQ(r.reliability(), 0.0);
+}
+
+TEST(BroadcastRecorderTest, ClearResets) {
+  BroadcastRecorder rec;
+  rec.begin_message(1, 2);
+  rec.on_deliver(nid(0), 1, 0);
+  rec.clear();
+  EXPECT_TRUE(rec.results().empty());
+  EXPECT_DOUBLE_EQ(rec.average_reliability(), 0.0);
+  // Reusing an id after clear is allowed.
+  rec.begin_message(1, 2);
+  EXPECT_EQ(rec.results().size(), 1u);
+}
+
+TEST(BroadcastRecorderTest, DuplicateBeginRejected) {
+  BroadcastRecorder rec;
+  rec.begin_message(1, 2);
+  EXPECT_DEATH(rec.begin_message(1, 2), "HPV_CHECK");
+}
+
+}  // namespace
+}  // namespace hyparview::analysis

@@ -1,0 +1,46 @@
+#include "hyparview/analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hyparview::analysis {
+namespace {
+
+TEST(TableTest, MarkdownLayout) {
+  Table t({"proto", "reliability"});
+  t.add_row({"hyparview", "100%"});
+  t.add_row({"cyclon", "85%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| proto     | reliability |"), std::string::npos);
+  EXPECT_NE(s.find("| hyparview | 100%        |"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "HPV_CHECK");
+}
+
+TEST(TableTest, EmptyTableStillRendersHeader) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_NE(t.to_string().find("| x |"), std::string::npos);
+}
+
+TEST(TableTest, PrintWritesToStream) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace hyparview::analysis

@@ -1,0 +1,89 @@
+#include "hyparview/common/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview {
+namespace {
+
+TEST(NodeIdTest, DefaultIsZero) {
+  NodeId id;
+  EXPECT_EQ(id.ip, 0u);
+  EXPECT_EQ(id.port, 0u);
+  EXPECT_EQ(id.raw(), 0u);
+}
+
+TEST(NodeIdTest, FromIndexRoundTrip) {
+  const NodeId id = NodeId::from_index(1234);
+  EXPECT_EQ(id.ip, 1234u);
+  EXPECT_EQ(id.port, 0u);
+}
+
+TEST(NodeIdTest, EqualityAndOrdering) {
+  const NodeId a{1, 10};
+  const NodeId b{1, 11};
+  const NodeId c{2, 0};
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(NodeIdTest, RawPacksIpAndPort) {
+  const NodeId id{0xDEADBEEF, 0xCAFE};
+  EXPECT_EQ(id.raw(), (static_cast<std::uint64_t>(0xDEADBEEF) << 16) | 0xCAFE);
+}
+
+TEST(NodeIdTest, SimIndexToString) {
+  EXPECT_EQ(NodeId::from_index(7).to_string(), "#7");
+}
+
+TEST(NodeIdTest, AddressToString) {
+  const NodeId id{(127u << 24) | 1u, 8080};
+  EXPECT_EQ(id.to_string(), "127.0.0.1:8080");
+}
+
+TEST(NodeIdTest, ParseIndexForm) {
+  EXPECT_EQ(NodeId::parse("#42"), NodeId::from_index(42));
+}
+
+TEST(NodeIdTest, ParseAddressForm) {
+  const NodeId id = NodeId::parse("10.1.2.3:9000");
+  EXPECT_EQ(id.ip, (10u << 24) | (1u << 16) | (2u << 8) | 3u);
+  EXPECT_EQ(id.port, 9000u);
+}
+
+TEST(NodeIdTest, ParseRoundTripsToString) {
+  for (const char* text : {"#0", "#4294967295", "1.2.3.4:1", "255.255.255.255:65535"}) {
+    EXPECT_EQ(NodeId::parse(text).to_string(), text);
+  }
+}
+
+TEST(NodeIdTest, ParseRejectsGarbage) {
+  EXPECT_THROW((void)NodeId::parse(""), CheckError);
+  EXPECT_THROW((void)NodeId::parse("nonsense"), CheckError);
+  EXPECT_THROW((void)NodeId::parse("300.1.1.1:80"), CheckError);
+  EXPECT_THROW((void)NodeId::parse("1.1.1.1:99999"), CheckError);
+  EXPECT_THROW((void)NodeId::parse("#notanumber"), CheckError);
+}
+
+TEST(NodeIdTest, SentinelIsDistinct) {
+  EXPECT_NE(kNoNode, NodeId{});
+  EXPECT_NE(kNoNode, NodeId::from_index(0xFFFFFFFF));  // port differs
+}
+
+TEST(NodeIdTest, HashSpreadsSequentialIds) {
+  NodeIdHash hasher;
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(hasher(NodeId::from_index(i)));
+  }
+  // All distinct for sequential inputs (splitmix64 finalizer is a bijection).
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace hyparview

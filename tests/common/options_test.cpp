@@ -1,0 +1,84 @@
+#include "hyparview/common/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace hyparview {
+namespace {
+
+TEST(EnvTest, MissingVariableFallsBack) {
+  ::unsetenv("HPV_TEST_MISSING");
+  EXPECT_EQ(env_int("HPV_TEST_MISSING", 77), 77);
+  EXPECT_EQ(env_double("HPV_TEST_MISSING", 1.5), 1.5);
+  EXPECT_FALSE(env_flag("HPV_TEST_MISSING", false));
+  EXPECT_TRUE(env_flag("HPV_TEST_MISSING", true));
+  EXPECT_FALSE(env_string("HPV_TEST_MISSING").has_value());
+}
+
+TEST(EnvTest, ParsesValues) {
+  ::setenv("HPV_TEST_INT", "123", 1);
+  ::setenv("HPV_TEST_DOUBLE", "2.25", 1);
+  ::setenv("HPV_TEST_FLAG", "1", 1);
+  EXPECT_EQ(env_int("HPV_TEST_INT", 0), 123);
+  EXPECT_DOUBLE_EQ(env_double("HPV_TEST_DOUBLE", 0.0), 2.25);
+  EXPECT_TRUE(env_flag("HPV_TEST_FLAG", false));
+  ::unsetenv("HPV_TEST_INT");
+  ::unsetenv("HPV_TEST_DOUBLE");
+  ::unsetenv("HPV_TEST_FLAG");
+}
+
+TEST(EnvTest, MalformedIntFallsBack) {
+  ::setenv("HPV_TEST_BAD", "12abc", 1);
+  EXPECT_EQ(env_int("HPV_TEST_BAD", 5), 5);
+  ::unsetenv("HPV_TEST_BAD");
+}
+
+TEST(EnvTest, FlagAcceptsSynonyms) {
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    ::setenv("HPV_TEST_FLAG2", v, 1);
+    EXPECT_TRUE(env_flag("HPV_TEST_FLAG2", false)) << v;
+  }
+  ::setenv("HPV_TEST_FLAG2", "0", 1);
+  EXPECT_FALSE(env_flag("HPV_TEST_FLAG2", true));
+  ::unsetenv("HPV_TEST_FLAG2");
+}
+
+TEST(ArgParserTest, KeyValueAndFlags) {
+  const char* argv[] = {"prog", "--nodes=500", "--verbose", "input.txt"};
+  ArgParser args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("nodes", 0), 500);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+}
+
+TEST(ArgParserTest, Defaults) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get("name", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("n", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.5), 0.5);
+}
+
+TEST(ArgParserTest, DoubleParsing) {
+  const char* argv[] = {"prog", "--rate=0.75"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.75);
+}
+
+TEST(ArgParserTest, MalformedNumberFallsBack) {
+  const char* argv[] = {"prog", "--n=xyz"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 3), 3);
+}
+
+TEST(ArgParserTest, FlagWithoutValueIsOne) {
+  const char* argv[] = {"prog", "--quick"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.get("quick", ""), "1");
+}
+
+}  // namespace
+}  // namespace hyparview

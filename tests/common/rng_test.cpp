@@ -1,0 +1,178 @@
+#include "hyparview/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace hyparview {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, PickReturnsMember) {
+  Rng rng(23);
+  const std::vector<int> items = {4, 8, 15, 16, 23, 42};
+  for (int i = 0; i < 100; ++i) {
+    const int v = rng.pick(items);
+    EXPECT_NE(std::find(items.begin(), items.end(), v), items.end());
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleSizeAndDistinctness) {
+  Rng rng(31);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  const auto s = rng.sample(items, 10);
+  ASSERT_EQ(s.size(), 10u);
+  auto sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(RngTest, SampleMoreThanAvailableReturnsAll) {
+  Rng rng(37);
+  const std::vector<int> items = {1, 2, 3};
+  auto s = rng.sample(items, 10);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, items);
+}
+
+TEST(RngTest, SampleEmptyInput) {
+  Rng rng(41);
+  const std::vector<int> items;
+  EXPECT_TRUE(rng.sample(items, 5).empty());
+}
+
+TEST(RngTest, SampleIsUniform) {
+  // Each of 5 elements should appear in a 2-sample with probability 2/5.
+  Rng rng(43);
+  const std::vector<int> items = {0, 1, 2, 3, 4};
+  std::map<int, int> appearances;
+  constexpr int kDraws = 25'000;
+  for (int i = 0; i < kDraws; ++i) {
+    for (const int v : rng.sample(items, 2)) ++appearances[v];
+  }
+  for (const auto& [value, count] : appearances) {
+    EXPECT_NEAR(static_cast<double>(count) / kDraws, 0.4, 0.02) << value;
+  }
+}
+
+TEST(RngTest, DeriveSeedIndependentStreams) {
+  const std::uint64_t master = 99;
+  Rng a(derive_seed(master, 0));
+  Rng b(derive_seed(master, 1));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DeriveSeedDeterministic) {
+  EXPECT_EQ(derive_seed(5, 7), derive_seed(5, 7));
+  EXPECT_NE(derive_seed(5, 7), derive_seed(5, 8));
+  EXPECT_NE(derive_seed(5, 7), derive_seed(6, 7));
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hyparview

@@ -1,0 +1,429 @@
+#include "hyparview/core/hyparview.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../support/fake_env.hpp"
+
+namespace hyparview::core {
+namespace {
+
+using test::FakeEnv;
+
+NodeId nid(std::uint32_t i) { return NodeId::from_index(i); }
+
+bool contains(const std::vector<NodeId>& v, const NodeId& id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+class HyParViewUnitTest : public ::testing::Test {
+ protected:
+  HyParViewUnitTest() : env_(nid(0)), proto_(env_, Config{}) {}
+
+  /// Fills the active view with ids [base, base+capacity) via JOINs.
+  void fill_active(std::uint32_t base = 100) {
+    for (std::uint32_t i = 0; i < proto_.config().active_capacity; ++i) {
+      proto_.handle(nid(base + i), wire::Join{});
+    }
+    env_.clear();
+  }
+
+  FakeEnv env_;
+  HyParView proto_;
+};
+
+TEST_F(HyParViewUnitTest, ConfigValidation) {
+  Config bad;
+  bad.prwl = 7;
+  bad.arwl = 3;
+  EXPECT_THROW(HyParView(env_, bad), CheckError);
+  Config zero;
+  zero.active_capacity = 0;
+  EXPECT_THROW(HyParView(env_, zero), CheckError);
+}
+
+TEST_F(HyParViewUnitTest, StartSendsJoinAndOptimisticallyAddsContact) {
+  proto_.start(nid(9));
+  ASSERT_EQ(env_.sent.size(), 1u);
+  EXPECT_EQ(env_.sent[0].to, nid(9));
+  EXPECT_TRUE(std::holds_alternative<wire::Join>(env_.sent[0].msg));
+  EXPECT_TRUE(contains(proto_.active_view(), nid(9)));
+}
+
+TEST_F(HyParViewUnitTest, BootstrapStartSendsNothing) {
+  proto_.start(std::nullopt);
+  EXPECT_TRUE(env_.sent.empty());
+  EXPECT_TRUE(proto_.active_view().empty());
+}
+
+TEST_F(HyParViewUnitTest, StartIgnoresSelfContact) {
+  proto_.start(nid(0));
+  EXPECT_TRUE(env_.sent.empty());
+}
+
+TEST_F(HyParViewUnitTest, JoinAddsToActiveAndPropagatesForwardJoins) {
+  // Pre-populate with two members.
+  proto_.handle(nid(1), wire::Join{});
+  proto_.handle(nid(2), wire::Join{});
+  env_.clear();
+
+  proto_.handle(nid(3), wire::Join{});
+  EXPECT_TRUE(contains(proto_.active_view(), nid(3)));
+  const auto fwds = env_.sent_of_type<wire::ForwardJoin>();
+  ASSERT_EQ(fwds.size(), 2u);  // to 1 and 2, not to the joiner
+  for (const auto& [to, fj] : fwds) {
+    EXPECT_NE(to, nid(3));
+    EXPECT_EQ(fj.new_node, nid(3));
+    EXPECT_EQ(fj.ttl, proto_.config().arwl);
+  }
+}
+
+TEST_F(HyParViewUnitTest, JoinEvictsRandomMemberWithDisconnectWhenFull) {
+  fill_active();
+  proto_.handle(nid(50), wire::Join{});
+  EXPECT_EQ(proto_.active_view().size(), proto_.config().active_capacity);
+  EXPECT_TRUE(contains(proto_.active_view(), nid(50)));
+  const auto discos = env_.sent_of_type<wire::Disconnect>();
+  ASSERT_EQ(discos.size(), 1u);
+  // Evicted member is demoted to the passive view.
+  EXPECT_TRUE(contains(proto_.passive_view(), discos[0].first));
+  EXPECT_FALSE(contains(proto_.active_view(), discos[0].first));
+}
+
+TEST_F(HyParViewUnitTest, ForwardJoinWithTtlZeroAcceptsAndNotifiesJoiner) {
+  fill_active();
+  proto_.handle(nid(100), wire::ForwardJoin{nid(7), 0});
+  EXPECT_TRUE(contains(proto_.active_view(), nid(7)));
+  const auto accepts = env_.sent_of_type<wire::ForwardJoinAccept>();
+  ASSERT_EQ(accepts.size(), 1u);
+  EXPECT_EQ(accepts[0].first, nid(7));
+}
+
+TEST_F(HyParViewUnitTest, ForwardJoinAcceptedWhenActiveViewIsSingleton) {
+  proto_.handle(nid(1), wire::Join{});
+  env_.clear();
+  // TTL is high, but #active == 1 forces the terminal step.
+  proto_.handle(nid(1), wire::ForwardJoin{nid(7), 6});
+  EXPECT_TRUE(contains(proto_.active_view(), nid(7)));
+}
+
+TEST_F(HyParViewUnitTest, ForwardJoinAtPrwlInsertsIntoPassiveAndForwards) {
+  fill_active();
+  const std::uint8_t prwl = proto_.config().prwl;
+  proto_.handle(nid(100), wire::ForwardJoin{nid(7), prwl});
+  EXPECT_TRUE(contains(proto_.passive_view(), nid(7)));
+  EXPECT_FALSE(contains(proto_.active_view(), nid(7)));
+  const auto fwds = env_.sent_of_type<wire::ForwardJoin>();
+  ASSERT_EQ(fwds.size(), 1u);
+  EXPECT_EQ(fwds[0].second.ttl, prwl - 1);
+  EXPECT_NE(fwds[0].first, nid(100));  // never back to the sender
+}
+
+TEST_F(HyParViewUnitTest, ForwardJoinMidWalkOnlyForwards) {
+  fill_active();
+  proto_.handle(nid(100), wire::ForwardJoin{nid(7), 5});  // != prwl(3), != 0
+  EXPECT_FALSE(contains(proto_.active_view(), nid(7)));
+  EXPECT_FALSE(contains(proto_.passive_view(), nid(7)));
+  const auto fwds = env_.sent_of_type<wire::ForwardJoin>();
+  ASSERT_EQ(fwds.size(), 1u);
+  EXPECT_EQ(fwds[0].second.new_node, nid(7));
+  EXPECT_EQ(fwds[0].second.ttl, 4);
+}
+
+TEST_F(HyParViewUnitTest, ForwardJoinForSelfIsIgnored) {
+  fill_active();
+  proto_.handle(nid(100), wire::ForwardJoin{nid(0), 0});
+  EXPECT_FALSE(contains(proto_.active_view(), nid(0)));
+  EXPECT_TRUE(env_.sent.empty());
+}
+
+TEST_F(HyParViewUnitTest, ForwardJoinAcceptInstallsSymmetricLink) {
+  proto_.handle(nid(4), wire::ForwardJoinAccept{});
+  EXPECT_TRUE(contains(proto_.active_view(), nid(4)));
+}
+
+TEST_F(HyParViewUnitTest, DisconnectDemotesToPassive) {
+  fill_active();
+  const NodeId peer = proto_.active_view().front();
+  proto_.handle(peer, wire::Disconnect{});
+  EXPECT_FALSE(contains(proto_.active_view(), peer));
+  EXPECT_TRUE(contains(proto_.passive_view(), peer));
+  EXPECT_TRUE(contains(env_.disconnects, peer));
+}
+
+TEST_F(HyParViewUnitTest, DisconnectFromNonMemberIsIgnored) {
+  fill_active();
+  const auto before = proto_.passive_view();
+  proto_.handle(nid(999), wire::Disconnect{});
+  EXPECT_EQ(proto_.passive_view(), before);
+}
+
+TEST_F(HyParViewUnitTest, HighPriorityNeighborAlwaysAccepted) {
+  fill_active();
+  proto_.handle(nid(60), wire::Neighbor{true});
+  EXPECT_TRUE(contains(proto_.active_view(), nid(60)));
+  const auto replies = env_.sent_of_type<wire::NeighborReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].second.accepted);
+  // Someone was evicted to make room.
+  EXPECT_EQ(env_.sent_of_type<wire::Disconnect>().size(), 1u);
+}
+
+TEST_F(HyParViewUnitTest, LowPriorityNeighborRejectedWhenFull) {
+  fill_active();
+  proto_.handle(nid(60), wire::Neighbor{false});
+  EXPECT_FALSE(contains(proto_.active_view(), nid(60)));
+  const auto replies = env_.sent_of_type<wire::NeighborReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].second.accepted);
+}
+
+TEST_F(HyParViewUnitTest, LowPriorityNeighborAcceptedWithFreeSlot) {
+  proto_.handle(nid(1), wire::Join{});
+  env_.clear();
+  proto_.handle(nid(60), wire::Neighbor{false});
+  EXPECT_TRUE(contains(proto_.active_view(), nid(60)));
+  const auto replies = env_.sent_of_type<wire::NeighborReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].second.accepted);
+}
+
+TEST_F(HyParViewUnitTest, FailureTriggersPromotionFromPassive) {
+  fill_active();
+  // Seed the passive view.
+  proto_.handle(nid(100), wire::ForwardJoin{nid(200), proto_.config().prwl});
+  env_.clear();
+
+  const NodeId victim = proto_.active_view().front();
+  proto_.peer_unreachable(victim);
+  EXPECT_FALSE(contains(proto_.active_view(), victim));
+  EXPECT_FALSE(contains(proto_.passive_view(), victim));  // expunged, not demoted
+  // Repair: connection attempt to the passive candidate.
+  ASSERT_EQ(env_.connects.size(), 1u);
+  EXPECT_EQ(env_.connects[0].to, nid(200));
+  EXPECT_TRUE(proto_.repair_in_flight());
+
+  env_.complete_connect(0, true);
+  const auto neighbors = env_.sent_of_type<wire::Neighbor>();
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].first, nid(200));
+  EXPECT_FALSE(neighbors[0].second.high_priority);  // view not empty
+
+  proto_.handle(nid(200), wire::NeighborReply{true});
+  EXPECT_TRUE(contains(proto_.active_view(), nid(200)));
+  EXPECT_FALSE(contains(proto_.passive_view(), nid(200)));
+  EXPECT_FALSE(proto_.repair_in_flight());
+}
+
+TEST_F(HyParViewUnitTest, PromotionUsesHighPriorityWhenActiveViewEmpty) {
+  proto_.handle(nid(1), wire::Join{});
+  // Seed the passive view without touching the active view.
+  proto_.handle(nid(9), wire::ShuffleReply{{}, {nid(200)}});
+  env_.clear();
+
+  proto_.peer_unreachable(nid(1));  // active view now empty
+  ASSERT_EQ(env_.connects.size(), 1u);
+  env_.complete_connect(0, true);
+  const auto neighbors = env_.sent_of_type<wire::Neighbor>();
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_TRUE(neighbors[0].second.high_priority);
+}
+
+TEST_F(HyParViewUnitTest, FailedConnectRemovesCandidateAndTriesNext) {
+  fill_active();
+  proto_.handle(nid(100), wire::ForwardJoin{nid(200), proto_.config().prwl});
+  proto_.handle(nid(100), wire::ForwardJoin{nid(201), proto_.config().prwl});
+  env_.clear();
+
+  proto_.peer_unreachable(proto_.active_view().front());
+  ASSERT_EQ(env_.connects.size(), 1u);
+  const NodeId first = env_.connects[0].to;
+  env_.complete_connect(0, false);
+  // First candidate purged from passive; second attempted.
+  EXPECT_FALSE(contains(proto_.passive_view(), first));
+  ASSERT_EQ(env_.connects.size(), 2u);
+  EXPECT_NE(env_.connects[1].to, first);
+}
+
+TEST_F(HyParViewUnitTest, RejectedNeighborKeepsCandidateInPassive) {
+  fill_active();
+  proto_.handle(nid(100), wire::ForwardJoin{nid(200), proto_.config().prwl});
+  proto_.handle(nid(100), wire::ForwardJoin{nid(201), proto_.config().prwl});
+  env_.clear();
+
+  proto_.peer_unreachable(proto_.active_view().front());
+  ASSERT_EQ(env_.connects.size(), 1u);
+  const NodeId first = env_.connects[0].to;
+  env_.complete_connect(0, true);
+  proto_.handle(first, wire::NeighborReply{false});
+  EXPECT_TRUE(contains(proto_.passive_view(), first));  // kept (§4.3)
+  // Second candidate tried within the same episode.
+  ASSERT_EQ(env_.connects.size(), 2u);
+  EXPECT_NE(env_.connects[1].to, first);
+}
+
+TEST_F(HyParViewUnitTest, CycleInitiatesShuffleWithSelfActiveAndPassive) {
+  fill_active();
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    proto_.handle(nid(100), wire::ForwardJoin{nid(300 + i), proto_.config().prwl});
+  }
+  env_.clear();
+
+  proto_.on_cycle();
+  const auto shuffles = env_.sent_of_type<wire::Shuffle>();
+  ASSERT_EQ(shuffles.size(), 1u);
+  const auto& [to, sh] = shuffles[0];
+  EXPECT_TRUE(contains(proto_.active_view(), to));
+  EXPECT_EQ(sh.origin, nid(0));
+  EXPECT_EQ(sh.ttl, proto_.config().shuffle_ttl);
+  // self + ka active + kp passive.
+  EXPECT_EQ(sh.entries.size(),
+            1 + proto_.config().shuffle_ka + proto_.config().shuffle_kp);
+  EXPECT_EQ(sh.entries.front(), nid(0));
+}
+
+TEST_F(HyParViewUnitTest, ShuffleEntriesClampedByViewSizes) {
+  proto_.handle(nid(1), wire::Join{});
+  env_.clear();
+  proto_.on_cycle();
+  const auto shuffles = env_.sent_of_type<wire::Shuffle>();
+  ASSERT_EQ(shuffles.size(), 1u);
+  // self + 1 active member + 0 passive.
+  EXPECT_EQ(shuffles[0].second.entries.size(), 2u);
+}
+
+TEST_F(HyParViewUnitTest, CycleWithoutNeighborsDoesNotShuffle) {
+  proto_.on_cycle();
+  EXPECT_TRUE(env_.sent_of_type<wire::Shuffle>().empty());
+}
+
+TEST_F(HyParViewUnitTest, ShuffleForwardedWhileTtlRemains) {
+  fill_active();
+  const wire::Shuffle sh{nid(77), 3, {nid(77), nid(78)}};
+  proto_.handle(nid(100), sh);
+  const auto fwds = env_.sent_of_type<wire::Shuffle>();
+  ASSERT_EQ(fwds.size(), 1u);
+  EXPECT_EQ(fwds[0].second.ttl, 2);
+  EXPECT_NE(fwds[0].first, nid(100));  // not back to sender
+  EXPECT_NE(fwds[0].first, nid(77));   // not to the origin
+  EXPECT_TRUE(env_.sent_of_type<wire::ShuffleReply>().empty());
+}
+
+TEST_F(HyParViewUnitTest, ShuffleAcceptedAtTtlZeroRepliesToOrigin) {
+  fill_active();
+  // Seed passive view so the reply has content.
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    proto_.handle(nid(100), wire::ForwardJoin{nid(300 + i), proto_.config().prwl});
+  }
+  env_.clear();
+
+  const wire::Shuffle sh{nid(77), 1, {nid(77), nid(78), nid(79)}};
+  proto_.handle(nid(100), sh);
+  const auto replies = env_.sent_of_type<wire::ShuffleReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].first, nid(77));  // directly to origin
+  EXPECT_EQ(replies[0].second.entries.size(), 3u);  // matches request size
+  EXPECT_EQ(replies[0].second.sent, sh.entries);    // echo
+  // Received ids were integrated into the passive view.
+  EXPECT_TRUE(contains(proto_.passive_view(), nid(77)));
+  EXPECT_TRUE(contains(proto_.passive_view(), nid(78)));
+  // Temporary connection to the origin is closed.
+  EXPECT_TRUE(contains(env_.disconnects, nid(77)));
+}
+
+TEST_F(HyParViewUnitTest, ShuffleFromOwnOriginDropped) {
+  fill_active();
+  proto_.handle(nid(100), wire::Shuffle{nid(0), 2, {nid(5)}});
+  EXPECT_TRUE(env_.sent.empty());
+  EXPECT_FALSE(contains(proto_.passive_view(), nid(5)));
+}
+
+TEST_F(HyParViewUnitTest, ShuffleReplyIntegratesEntries) {
+  fill_active();
+  proto_.handle(nid(50), wire::ShuffleReply{{}, {nid(400), nid(401)}});
+  EXPECT_TRUE(contains(proto_.passive_view(), nid(400)));
+  EXPECT_TRUE(contains(proto_.passive_view(), nid(401)));
+}
+
+TEST_F(HyParViewUnitTest, IntegrationSkipsSelfActiveAndKnown) {
+  fill_active();
+  const NodeId active_member = proto_.active_view().front();
+  proto_.handle(nid(50), wire::ShuffleReply{{}, {nid(0), active_member}});
+  EXPECT_FALSE(contains(proto_.passive_view(), nid(0)));
+  EXPECT_FALSE(contains(proto_.passive_view(), active_member));
+}
+
+TEST_F(HyParViewUnitTest, PassiveViewEvictionPrefersSentIds) {
+  Config cfg;
+  cfg.passive_capacity = 3;
+  FakeEnv env(nid(0));
+  HyParView p(env, cfg);
+  p.handle(nid(1), wire::Join{});
+  // Fill passive view with 10, 11, 12 (shuffle replies only touch passive).
+  p.handle(nid(9), wire::ShuffleReply{{}, {nid(10), nid(11), nid(12)}});
+  ASSERT_EQ(p.passive_view().size(), 3u);
+  // Reply integrating {20, 21}, claiming we sent {10, 11}: they get evicted
+  // first.
+  p.handle(nid(9), wire::ShuffleReply{{nid(10), nid(11)}, {nid(20), nid(21)}});
+  EXPECT_TRUE(contains(p.passive_view(), nid(20)));
+  EXPECT_TRUE(contains(p.passive_view(), nid(21)));
+  EXPECT_TRUE(contains(p.passive_view(), nid(12)));  // untouched
+  EXPECT_FALSE(contains(p.passive_view(), nid(10)));
+  EXPECT_FALSE(contains(p.passive_view(), nid(11)));
+}
+
+TEST_F(HyParViewUnitTest, BroadcastTargetsFloodActiveViewExceptSender) {
+  fill_active();
+  const NodeId sender = proto_.active_view().front();
+  const auto targets = proto_.broadcast_targets(4, sender);
+  EXPECT_EQ(targets.size(), proto_.config().active_capacity - 1);
+  EXPECT_FALSE(contains(targets, sender));
+}
+
+TEST_F(HyParViewUnitTest, BroadcastTargetsFromSourceUsesWholeView) {
+  fill_active();
+  EXPECT_EQ(proto_.broadcast_targets(4, kNoNode).size(),
+            proto_.config().active_capacity);
+}
+
+TEST_F(HyParViewUnitTest, StatsCountEvents) {
+  proto_.handle(nid(1), wire::Join{});
+  proto_.handle(nid(1), wire::ForwardJoin{nid(2), 0});
+  EXPECT_EQ(proto_.stats().joins_handled, 1u);
+  EXPECT_EQ(proto_.stats().forward_joins_accepted, 1u);
+}
+
+TEST_F(HyParViewUnitTest, DissemAndBackupViewsMatchAccessors) {
+  fill_active();
+  EXPECT_EQ(proto_.dissemination_view(), proto_.active_view());
+  EXPECT_EQ(proto_.backup_view(), proto_.passive_view());
+  EXPECT_STREQ(proto_.name(), "hyparview");
+}
+
+TEST_F(HyParViewUnitTest, LeaveSaysGoodbyeToEveryActiveNeighborAndResets) {
+  fill_active();
+  const auto neighbors = proto_.active_view();
+  proto_.leave();
+  const auto goodbyes = env_.sent_of_type<wire::Disconnect>();
+  ASSERT_EQ(goodbyes.size(), neighbors.size());
+  for (const NodeId& n : neighbors) {
+    EXPECT_TRUE(std::any_of(goodbyes.begin(), goodbyes.end(),
+                            [&](const auto& g) { return g.first == n; }))
+        << "no goodbye to " << n.to_string();
+    EXPECT_TRUE(contains(env_.disconnects, n));
+  }
+  EXPECT_TRUE(proto_.active_view().empty());
+  EXPECT_TRUE(proto_.passive_view().empty());
+  EXPECT_TRUE(proto_.warm_cache().empty());
+  EXPECT_FALSE(proto_.repair_in_flight());
+}
+
+TEST_F(HyParViewUnitTest, LeaveWithEmptyViewsIsSilent) {
+  proto_.leave();
+  EXPECT_TRUE(env_.sent.empty());
+  EXPECT_TRUE(env_.disconnects.empty());
+}
+
+}  // namespace
+}  // namespace hyparview::core

@@ -1,0 +1,285 @@
+#include "hyparview/gossip/gossip_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../support/fake_env.hpp"
+#include "hyparview/gossip/node_runtime.hpp"
+
+namespace hyparview::gossip {
+namespace {
+
+using test::FakeEnv;
+
+NodeId nid(std::uint32_t i) { return NodeId::from_index(i); }
+
+/// Scriptable membership protocol for engine tests.
+class FakeProtocol final : public membership::Protocol {
+ public:
+  void start(std::optional<NodeId>) override {}
+  void handle(const NodeId&, const wire::Message&) override { ++handled; }
+  void on_send_failed(const NodeId&, const wire::Message&) override {
+    ++membership_send_failures;
+  }
+  void on_link_closed(const NodeId&) override { ++links_closed; }
+  void on_cycle() override {}
+
+  std::vector<NodeId> broadcast_targets(std::size_t fanout,
+                                        const NodeId& from) override {
+    std::vector<NodeId> out;
+    for (const NodeId& t : targets) {
+      if (t != from) out.push_back(t);
+    }
+    if (fanout > 0 && out.size() > fanout) out.resize(fanout);
+    return out;
+  }
+
+  void peer_unreachable(const NodeId& peer) override {
+    unreachable.push_back(peer);
+    targets.erase(std::remove(targets.begin(), targets.end(), peer),
+                  targets.end());
+  }
+
+  std::vector<NodeId> dissemination_view() const override { return targets; }
+  std::vector<NodeId> backup_view() const override { return {}; }
+  const char* name() const override { return "fake"; }
+
+  std::vector<NodeId> targets;
+  std::vector<NodeId> unreachable;
+  int handled = 0;
+  int membership_send_failures = 0;
+  int links_closed = 0;
+};
+
+class RecordingObserver final : public DeliveryObserver {
+ public:
+  void on_deliver(const NodeId& node, std::uint64_t msg_id,
+                  std::uint16_t hops) override {
+    deliveries.push_back({node, msg_id, hops});
+  }
+  void on_duplicate(const NodeId&, std::uint64_t) override { ++duplicates; }
+
+  struct Delivery {
+    NodeId node;
+    std::uint64_t msg_id;
+    std::uint16_t hops;
+  };
+  std::vector<Delivery> deliveries;
+  int duplicates = 0;
+};
+
+class GossipEngineTest : public ::testing::Test {
+ protected:
+  GossipEngineTest() : env_(nid(0)) {
+    proto_.targets = {nid(1), nid(2), nid(3), nid(4), nid(5)};
+  }
+
+  GossipEngine make_engine(Mode mode, std::size_t fanout = 3) {
+    GossipConfig cfg;
+    cfg.mode = mode;
+    cfg.fanout = fanout;
+    return GossipEngine(env_, proto_, cfg, &observer_);
+  }
+
+  FakeEnv env_;
+  FakeProtocol proto_;
+  RecordingObserver observer_;
+};
+
+TEST_F(GossipEngineTest, BroadcastDeliversLocallyWithZeroHops) {
+  auto engine = make_engine(Mode::kFlood);
+  engine.broadcast(100);
+  ASSERT_EQ(observer_.deliveries.size(), 1u);
+  EXPECT_EQ(observer_.deliveries[0].node, nid(0));
+  EXPECT_EQ(observer_.deliveries[0].msg_id, 100u);
+  EXPECT_EQ(observer_.deliveries[0].hops, 0u);
+}
+
+TEST_F(GossipEngineTest, FloodSendsToAllTargetsWithHopsOne) {
+  auto engine = make_engine(Mode::kFlood);
+  engine.broadcast(100);
+  const auto sent = env_.sent_of_type<wire::Gossip>();
+  ASSERT_EQ(sent.size(), 5u);  // fanout ignored in flood mode
+  for (const auto& [to, g] : sent) {
+    EXPECT_EQ(g.msg_id, 100u);
+    EXPECT_EQ(g.hops, 1u);
+  }
+}
+
+TEST_F(GossipEngineTest, RandomFanoutRespectsFanout) {
+  auto engine = make_engine(Mode::kRandomFanout, 3);
+  engine.broadcast(100);
+  EXPECT_EQ(env_.sent_of_type<wire::Gossip>().size(), 3u);
+}
+
+TEST_F(GossipEngineTest, ExplicitAcksAckEveryReceivedCopyInAckedMode) {
+  GossipConfig cfg;
+  cfg.mode = Mode::kRandomFanoutAcked;
+  cfg.fanout = 3;
+  cfg.explicit_acks = true;
+  GossipEngine engine(env_, proto_, cfg, &observer_);
+  engine.handle_gossip(nid(1), wire::Gossip{200, 1, 64});
+  engine.handle_gossip(nid(2), wire::Gossip{200, 2, 64});  // duplicate copy
+  const auto acks = env_.sent_of_type<wire::GossipAck>();
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_EQ(acks[0].first, nid(1));
+  EXPECT_EQ(acks[1].first, nid(2));
+  EXPECT_EQ(acks[0].second.msg_id, 200u);
+  // Locally originated broadcasts have no sender to ack.
+  engine.broadcast(201);
+  EXPECT_EQ(env_.sent_of_type<wire::GossipAck>().size(), 2u);
+}
+
+TEST_F(GossipEngineTest, NoAcksWithoutExplicitAcksFlagOrOutsideAckedMode) {
+  // Default acked mode keeps acks implicit (transport failure reporting).
+  auto acked = make_engine(Mode::kRandomFanoutAcked);
+  acked.handle_gossip(nid(1), wire::Gossip{300, 1, 64});
+  EXPECT_TRUE(env_.sent_of_type<wire::GossipAck>().empty());
+
+  // And the flag is inert outside acked mode (flood uses the standing
+  // connections themselves as the failure detector).
+  GossipConfig cfg;
+  cfg.mode = Mode::kFlood;
+  cfg.explicit_acks = true;
+  GossipEngine flood(env_, proto_, cfg, &observer_);
+  flood.handle_gossip(nid(2), wire::Gossip{301, 1, 64});
+  EXPECT_TRUE(env_.sent_of_type<wire::GossipAck>().empty());
+}
+
+TEST_F(GossipEngineTest, ReceiveForwardsWithIncrementedHopsExcludingSender) {
+  auto engine = make_engine(Mode::kFlood);
+  engine.handle_gossip(nid(1), wire::Gossip{200, 4, 64});
+  ASSERT_EQ(observer_.deliveries.size(), 1u);
+  EXPECT_EQ(observer_.deliveries[0].hops, 4u);
+  const auto sent = env_.sent_of_type<wire::Gossip>();
+  ASSERT_EQ(sent.size(), 4u);  // 5 targets minus the sender
+  for (const auto& [to, g] : sent) {
+    EXPECT_NE(to, nid(1));
+    EXPECT_EQ(g.hops, 5u);
+  }
+}
+
+TEST_F(GossipEngineTest, DuplicateDeliveredOnceAndCounted) {
+  auto engine = make_engine(Mode::kFlood);
+  engine.handle_gossip(nid(1), wire::Gossip{300, 1, 0});
+  engine.handle_gossip(nid(2), wire::Gossip{300, 2, 0});
+  EXPECT_EQ(observer_.deliveries.size(), 1u);
+  EXPECT_EQ(observer_.duplicates, 1);
+  EXPECT_EQ(engine.duplicates_received(), 1u);
+  // No re-forwarding of duplicates.
+  EXPECT_EQ(env_.sent_of_type<wire::Gossip>().size(), 4u);
+}
+
+TEST_F(GossipEngineTest, BroadcastIdempotentPerMessageId) {
+  auto engine = make_engine(Mode::kFlood);
+  engine.broadcast(400);
+  engine.broadcast(400);
+  EXPECT_EQ(observer_.deliveries.size(), 1u);
+}
+
+TEST_F(GossipEngineTest, FloodFailureNotifiesProtocol) {
+  auto engine = make_engine(Mode::kFlood);
+  engine.on_send_failed(nid(2), wire::Gossip{500, 1, 0});
+  ASSERT_EQ(proto_.unreachable.size(), 1u);
+  EXPECT_EQ(proto_.unreachable[0], nid(2));
+}
+
+TEST_F(GossipEngineTest, AckedFailureNotifiesProtocol) {
+  auto engine = make_engine(Mode::kRandomFanoutAcked);
+  engine.on_send_failed(nid(2), wire::Gossip{500, 1, 0});
+  EXPECT_EQ(proto_.unreachable.size(), 1u);
+}
+
+TEST_F(GossipEngineTest, PlainFailureIsInvisible) {
+  auto engine = make_engine(Mode::kRandomFanout);
+  engine.on_send_failed(nid(2), wire::Gossip{500, 1, 0});
+  EXPECT_TRUE(proto_.unreachable.empty());
+}
+
+TEST_F(GossipEngineTest, RerouteOnFailureSendsSubstitute) {
+  GossipConfig cfg;
+  cfg.mode = Mode::kFlood;
+  cfg.reroute_on_failure = true;
+  GossipEngine engine(env_, proto_, cfg, &observer_);
+  engine.on_send_failed(nid(2), wire::Gossip{600, 1, 0});
+  const auto sent = env_.sent_of_type<wire::Gossip>();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_NE(sent[0].first, nid(2));
+  EXPECT_EQ(sent[0].second.msg_id, 600u);
+}
+
+TEST_F(GossipEngineTest, DedupWindowEviction) {
+  GossipConfig cfg;
+  cfg.mode = Mode::kFlood;
+  cfg.dedup_window = 4;
+  GossipEngine engine(env_, proto_, cfg, &observer_);
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    engine.handle_gossip(nid(1), wire::Gossip{id, 1, 0});
+  }
+  // id=1 was evicted from the window: a replay is treated as new.
+  engine.handle_gossip(nid(1), wire::Gossip{1, 1, 0});
+  EXPECT_EQ(observer_.deliveries.size(), 7u);
+}
+
+TEST_F(GossipEngineTest, ResetForgetsHistory) {
+  auto engine = make_engine(Mode::kFlood);
+  engine.handle_gossip(nid(1), wire::Gossip{700, 1, 0});
+  engine.reset();
+  engine.handle_gossip(nid(1), wire::Gossip{700, 1, 0});
+  EXPECT_EQ(observer_.deliveries.size(), 2u);
+  EXPECT_EQ(engine.duplicates_received(), 0u);
+}
+
+TEST_F(GossipEngineTest, EmptyViewBroadcastOnlyDeliversLocally) {
+  proto_.targets.clear();
+  auto engine = make_engine(Mode::kFlood);
+  engine.broadcast(800);
+  EXPECT_EQ(observer_.deliveries.size(), 1u);
+  EXPECT_TRUE(env_.sent.empty());
+}
+
+// --- NodeRuntime demultiplexing ----------------------------------------------
+
+TEST(NodeRuntimeTest, RoutesGossipToEngineAndRestToProtocol) {
+  FakeEnv env(nid(0));
+  auto proto = std::make_unique<FakeProtocol>();
+  FakeProtocol* proto_raw = proto.get();
+  RecordingObserver observer;
+  GossipConfig cfg;
+  NodeRuntime runtime(env, std::move(proto), cfg, &observer);
+
+  runtime.deliver(nid(1), wire::Gossip{1, 1, 0});
+  EXPECT_EQ(observer.deliveries.size(), 1u);
+  EXPECT_EQ(proto_raw->handled, 0);
+
+  runtime.deliver(nid(1), wire::Join{});
+  EXPECT_EQ(proto_raw->handled, 1);
+
+  runtime.deliver(nid(1), wire::GossipAck{1});  // absorbed silently
+  EXPECT_EQ(proto_raw->handled, 1);
+}
+
+TEST(NodeRuntimeTest, RoutesSendFailures) {
+  FakeEnv env(nid(0));
+  auto proto = std::make_unique<FakeProtocol>();
+  FakeProtocol* proto_raw = proto.get();
+  proto_raw->targets = {nid(2)};
+  RecordingObserver observer;
+  GossipConfig cfg;
+  cfg.mode = Mode::kFlood;
+  NodeRuntime runtime(env, std::move(proto), cfg, &observer);
+
+  runtime.send_failed(nid(2), wire::Gossip{1, 1, 0});
+  EXPECT_EQ(proto_raw->unreachable.size(), 1u);
+  EXPECT_EQ(proto_raw->membership_send_failures, 0);
+
+  runtime.send_failed(nid(2), wire::Neighbor{false});
+  EXPECT_EQ(proto_raw->membership_send_failures, 1);
+
+  runtime.link_closed(nid(2));
+  EXPECT_EQ(proto_raw->links_closed, 1);
+}
+
+}  // namespace
+}  // namespace hyparview::gossip

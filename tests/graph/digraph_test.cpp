@@ -1,0 +1,110 @@
+#include "hyparview/graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace hyparview::graph {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g(0);
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(DigraphTest, AddEdgeCounts) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 1u);
+}
+
+TEST(DigraphTest, DedupeRemovesDuplicatesAndSelfLoops) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 0);
+  g.add_edge(0, 2);
+  g.dedupe();
+  EXPECT_EQ(g.edge_count(), 2u);
+  const auto nbrs = g.out_neighbors(0);
+  EXPECT_EQ(std::vector<std::uint32_t>(nbrs.begin(), nbrs.end()),
+            (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(DigraphTest, DegreesDirected) {
+  // 0 -> 1, 0 -> 2, 1 -> 2.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.out_degrees(), (std::vector<std::size_t>{2, 1, 0}));
+  EXPECT_EQ(g.in_degrees(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(DigraphTest, ReversedSwapsDegrees) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 0);
+  const Digraph r = g.reversed();
+  EXPECT_EQ(r.out_degrees(), g.in_degrees());
+  EXPECT_EQ(r.in_degrees(), g.out_degrees());
+}
+
+TEST(DigraphTest, UndirectedClosureSymmetric) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph u = g.undirected_closure();
+  EXPECT_EQ(u.edge_count(), 4u);  // two arcs per undirected edge
+  EXPECT_EQ(u.out_degrees(), u.in_degrees());
+}
+
+TEST(DigraphTest, UndirectedClosureDeduplicatesMutualEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const Digraph u = g.undirected_closure();
+  EXPECT_EQ(u.edge_count(), 2u);
+}
+
+TEST(DigraphTest, InducedSubgraphRenumbers) {
+  // 0 -> 1 -> 2 -> 3; keep {1, 2, 3}.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::vector<std::uint32_t> mapping;
+  const Digraph sub =
+      g.induced_subgraph({false, true, true, true}, &mapping);
+  EXPECT_EQ(sub.node_count(), 3u);
+  EXPECT_EQ(sub.edge_count(), 2u);
+  EXPECT_EQ(mapping, (std::vector<std::uint32_t>{1, 2, 3}));
+  // 1->2 becomes 0->1, 2->3 becomes 1->2.
+  EXPECT_EQ(sub.out_neighbors(0).size(), 1u);
+  EXPECT_EQ(sub.out_neighbors(0)[0], 1u);
+}
+
+TEST(DigraphTest, InducedSubgraphDropsCrossEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph sub = g.induced_subgraph({true, false, true});
+  EXPECT_EQ(sub.node_count(), 2u);
+  EXPECT_EQ(sub.edge_count(), 0u);
+}
+
+TEST(DigraphTest, InducedSubgraphEmptyMask) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const Digraph sub = g.induced_subgraph({false, false});
+  EXPECT_EQ(sub.node_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hyparview::graph

@@ -1,0 +1,171 @@
+#include "hyparview/graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyparview/common/rng.hpp"
+
+namespace hyparview::graph {
+namespace {
+
+Digraph triangle() {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  return g;
+}
+
+Digraph directed_path(std::size_t n) {
+  Digraph g(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Digraph complete(std::size_t n) {
+  Digraph g(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i != j) g.add_edge(i, j);
+    }
+  }
+  g.dedupe();
+  return g;
+}
+
+TEST(MetricsTest, ReachableCountOnPath) {
+  const Digraph g = directed_path(5);
+  EXPECT_EQ(reachable_count(g, 0), 5u);
+  EXPECT_EQ(reachable_count(g, 2), 3u);
+  EXPECT_EQ(reachable_count(g, 4), 1u);
+}
+
+TEST(MetricsTest, WeakConnectivity) {
+  EXPECT_TRUE(is_weakly_connected(triangle()));
+  EXPECT_TRUE(is_weakly_connected(directed_path(10)));
+
+  Digraph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_FALSE(is_weakly_connected(disconnected));
+  EXPECT_EQ(largest_weakly_connected_component(disconnected), 2u);
+}
+
+TEST(MetricsTest, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_weakly_connected(Digraph(0)));
+  EXPECT_EQ(largest_weakly_connected_component(Digraph(0)), 0u);
+}
+
+TEST(MetricsTest, SingletonIsConnected) {
+  EXPECT_TRUE(is_weakly_connected(Digraph(1)));
+}
+
+TEST(MetricsTest, ClusteringOfTriangleIsOne) {
+  const Digraph u = triangle().undirected_closure();
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering(u, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(average_clustering(u), 1.0);
+}
+
+TEST(MetricsTest, ClusteringOfStarIsZero) {
+  // Star: hub 0 connected to 1..4; no spoke-spoke edges.
+  Digraph g(5);
+  for (std::uint32_t i = 1; i < 5; ++i) g.add_edge(0, i);
+  const Digraph u = g.undirected_closure();
+  EXPECT_DOUBLE_EQ(average_clustering(u), 0.0);
+}
+
+TEST(MetricsTest, ClusteringOfCompleteGraphIsOne) {
+  const Digraph u = complete(6).undirected_closure();
+  EXPECT_DOUBLE_EQ(average_clustering(u), 1.0);
+}
+
+TEST(MetricsTest, ClusteringKnownMixedGraph) {
+  // Square 0-1-2-3 with diagonal 0-2.
+  // Neighbors: 0:{1,2,3} edges among them: (1,2),(2,3) -> 2/3
+  //            1:{0,2}   edge (0,2)                    -> 1
+  //            2:{0,1,3} edges (0,1),(0,3)             -> 2/3
+  //            3:{0,2}   edge (0,2)                    -> 1
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(0, 2);
+  const Digraph u = g.undirected_closure();
+  EXPECT_NEAR(local_clustering(u, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(local_clustering(u, 1), 1.0, 1e-12);
+  EXPECT_NEAR(average_clustering(u), (2.0 / 3.0 + 1.0 + 2.0 / 3.0 + 1.0) / 4.0,
+              1e-12);
+}
+
+TEST(MetricsTest, DegreeLessThanTwoContributesZero) {
+  const Digraph u = directed_path(3).undirected_closure();
+  EXPECT_DOUBLE_EQ(local_clustering(u, 0), 0.0);  // degree 1
+}
+
+TEST(MetricsTest, ShortestPathsOnPathGraphExact) {
+  const Digraph g = directed_path(4);  // 0->1->2->3
+  Rng rng(1);
+  const PathStats stats = shortest_path_stats(g, 100, rng);
+  // Reachable ordered pairs: (0,1)=1,(0,2)=2,(0,3)=3,(1,2)=1,(1,3)=2,(2,3)=1.
+  EXPECT_EQ(stats.sampled_sources, 4u);
+  EXPECT_NEAR(stats.average_shortest_path, 10.0 / 6.0, 1e-12);
+  EXPECT_EQ(stats.diameter, 3u);
+  EXPECT_EQ(stats.unreachable_pairs, 6u);  // all backward pairs
+}
+
+TEST(MetricsTest, ShortestPathsCompleteGraph) {
+  Rng rng(2);
+  const PathStats stats = shortest_path_stats(complete(5), 100, rng);
+  EXPECT_DOUBLE_EQ(stats.average_shortest_path, 1.0);
+  EXPECT_EQ(stats.diameter, 1u);
+  EXPECT_EQ(stats.unreachable_pairs, 0u);
+}
+
+TEST(MetricsTest, ShortestPathsSampling) {
+  Rng rng(3);
+  const Digraph g = complete(50);
+  const PathStats stats = shortest_path_stats(g, 10, rng);
+  EXPECT_EQ(stats.sampled_sources, 10u);
+  EXPECT_DOUBLE_EQ(stats.average_shortest_path, 1.0);
+}
+
+TEST(MetricsTest, InDegreeHistogram) {
+  // 0->1, 2->1, 0->2: in-degrees {0:0, 1:2, 2:1} -> hist[0]=1,[1]=1,[2]=1.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(0, 2);
+  const auto hist = in_degree_histogram(g);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(MetricsTest, AccuracyAllAlive) {
+  const Digraph g = triangle();
+  EXPECT_DOUBLE_EQ(accuracy(g, {true, true, true}), 1.0);
+}
+
+TEST(MetricsTest, AccuracyWithDeadNeighbors) {
+  // 0 -> {1, 2}; 1 -> {2}; node 2 dead.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const double acc = accuracy(g, {true, true, false});
+  // node 0: 1/2 live; node 1: 0/1 live; node 2 excluded (dead).
+  EXPECT_NEAR(acc, (0.5 + 0.0) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, AccuracyIgnoresViewlessNodes) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  // Nodes 1 and 2 have no out-neighbors; only node 0 counts.
+  EXPECT_DOUBLE_EQ(accuracy(g, {true, true, true}), 1.0);
+}
+
+}  // namespace
+}  // namespace hyparview::graph

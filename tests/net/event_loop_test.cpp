@@ -1,0 +1,100 @@
+#include "hyparview/net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace hyparview::net {
+namespace {
+
+TEST(EventLoopTest, RunUntilPredicateImmediatelyTrue) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.run_until([] { return true; }, seconds(1)));
+}
+
+TEST(EventLoopTest, RunUntilTimesOut) {
+  EventLoop loop;
+  const TimePoint start = loop.now();
+  EXPECT_FALSE(loop.run_until([] { return false; }, milliseconds(50)));
+  EXPECT_GE(loop.now() - start, milliseconds(45));
+}
+
+TEST(EventLoopTest, TimerFires) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule(milliseconds(10), [&] { fired = true; });
+  EXPECT_TRUE(loop.run_until([&] { return fired; }, seconds(2)));
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(milliseconds(30), [&] { order.push_back(3); });
+  loop.schedule(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule(milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_TRUE(loop.run_until([&] { return order.size() == 3; }, seconds(2)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, CancelledTimerDoesNotFire) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.schedule(milliseconds(10), [&] { fired = true; });
+  loop.cancel(id);
+  loop.run_until([] { return false; }, milliseconds(60));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, ZeroDelayTimerRunsPromptly) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule(0, [&] { fired = true; });
+  EXPECT_TRUE(loop.run_until([&] { return fired; }, seconds(1)));
+}
+
+TEST(EventLoopTest, TimerMayScheduleAnotherTimer) {
+  EventLoop loop;
+  int stage = 0;
+  loop.schedule(milliseconds(5), [&] {
+    stage = 1;
+    loop.schedule(milliseconds(5), [&] { stage = 2; });
+  });
+  EXPECT_TRUE(loop.run_until([&] { return stage == 2; }, seconds(2)));
+}
+
+TEST(EventLoopTest, PostFromAnotherThreadExecutes) {
+  EventLoop loop;
+  std::atomic<bool> done{false};
+  std::thread poster([&] { loop.post([&] { done = true; }); });
+  EXPECT_TRUE(
+      loop.run_until([&] { return done.load(); }, seconds(2)));
+  poster.join();
+}
+
+TEST(EventLoopTest, StopTerminatesRun) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  loop.post([&] { loop.stop(); });
+  runner.join();
+  SUCCEED();
+}
+
+TEST(EventLoopTest, NowIsMonotonic) {
+  EventLoop loop;
+  const TimePoint a = loop.now();
+  const TimePoint b = loop.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(EventLoopTest, ManyTimersAllFire) {
+  EventLoop loop;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    loop.schedule(milliseconds(1 + i % 10), [&] { ++fired; });
+  }
+  EXPECT_TRUE(loop.run_until([&] { return fired == 100; }, seconds(5)));
+}
+
+}  // namespace
+}  // namespace hyparview::net

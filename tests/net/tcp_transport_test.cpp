@@ -1,0 +1,241 @@
+#include "hyparview/net/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace hyparview::net {
+namespace {
+
+class RecordingEndpoint final : public membership::Endpoint {
+ public:
+  void deliver(const NodeId& from, const wire::Message& msg) override {
+    deliveries.emplace_back(from, msg);
+  }
+  void send_failed(const NodeId& to, const wire::Message& msg) override {
+    failures.emplace_back(to, msg);
+  }
+  void link_closed(const NodeId& peer) override {
+    closed_links.push_back(peer);
+  }
+
+  std::vector<std::pair<NodeId, wire::Message>> deliveries;
+  std::vector<std::pair<NodeId, wire::Message>> failures;
+  std::vector<NodeId> closed_links;
+};
+
+class TcpTransportTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<TcpTransport> make_transport(RecordingEndpoint* ep,
+                                               std::uint64_t seed = 1) {
+    TcpTransportConfig cfg;
+    cfg.rng_seed = seed;
+    return std::make_unique<TcpTransport>(loop_, ep, cfg);
+  }
+
+  EventLoop loop_;
+};
+
+TEST_F(TcpTransportTest, BindsEphemeralPortOnLoopback) {
+  RecordingEndpoint ep;
+  auto t = make_transport(&ep);
+  EXPECT_EQ(t->local_id().ip, 0x7F000001u);
+  EXPECT_NE(t->local_id().port, 0u);
+}
+
+TEST_F(TcpTransportTest, DistinctTransportsGetDistinctPorts) {
+  RecordingEndpoint ep;
+  auto a = make_transport(&ep);
+  auto b = make_transport(&ep);
+  EXPECT_NE(a->local_id(), b->local_id());
+}
+
+TEST_F(TcpTransportTest, SendDeliversMessage) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  a->send(b->local_id(), wire::Join{});
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(5)));
+  EXPECT_EQ(eb.deliveries[0].first, a->local_id());
+  EXPECT_TRUE(std::holds_alternative<wire::Join>(eb.deliveries[0].second));
+}
+
+TEST_F(TcpTransportTest, ManyMessagesArriveInOrder) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  constexpr std::uint64_t kCount = 500;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    a->send(b->local_id(), wire::Gossip{i, 0, 0});
+  }
+  ASSERT_TRUE(loop_.run_until(
+      [&] { return eb.deliveries.size() == kCount; }, seconds(10)));
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(std::get<wire::Gossip>(eb.deliveries[i].second).msg_id, i);
+  }
+}
+
+TEST_F(TcpTransportTest, LargeFrameRoundTrips) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  wire::Shuffle big;
+  big.origin = a->local_id();
+  big.ttl = 3;
+  for (std::uint32_t i = 0; i < 20'000; ++i) {
+    big.entries.push_back(NodeId{i, 1});
+  }
+  a->send(b->local_id(), big);
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(10)));
+  EXPECT_EQ(std::get<wire::Shuffle>(eb.deliveries[0].second).entries.size(),
+            20'000u);
+}
+
+TEST_F(TcpTransportTest, BidirectionalTrafficOverOneLink) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  a->send(b->local_id(), wire::Gossip{1, 0, 0});
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(5)));
+  b->send(a->local_id(), wire::Gossip{2, 0, 0});
+  ASSERT_TRUE(loop_.run_until([&] { return !ea.deliveries.empty(); },
+                              seconds(5)));
+  EXPECT_EQ(std::get<wire::Gossip>(ea.deliveries[0].second).msg_id, 2u);
+}
+
+TEST_F(TcpTransportTest, ConnectToLiveTransportSucceeds) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  bool called = false;
+  bool ok = false;
+  a->connect(b->local_id(), [&](bool result) {
+    called = true;
+    ok = result;
+  });
+  ASSERT_TRUE(loop_.run_until([&] { return called; }, seconds(5)));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(TcpTransportTest, ConnectToDeadPortFails) {
+  RecordingEndpoint ea;
+  auto a = make_transport(&ea, 1);
+  // Grab a port that is then released: connection attempts must fail.
+  NodeId dead;
+  {
+    RecordingEndpoint tmp_ep;
+    auto tmp = make_transport(&tmp_ep, 9);
+    dead = tmp->local_id();
+    tmp->shutdown();
+  }
+  bool called = false;
+  bool ok = true;
+  a->connect(dead, [&](bool result) {
+    called = true;
+    ok = result;
+  });
+  ASSERT_TRUE(loop_.run_until([&] { return called; }, seconds(5)));
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(TcpTransportTest, SendToDeadPortReportsFailure) {
+  RecordingEndpoint ea;
+  auto a = make_transport(&ea, 1);
+  NodeId dead;
+  {
+    RecordingEndpoint tmp_ep;
+    auto tmp = make_transport(&tmp_ep, 9);
+    dead = tmp->local_id();
+    tmp->shutdown();
+  }
+  a->send(dead, wire::Neighbor{true});
+  ASSERT_TRUE(
+      loop_.run_until([&] { return !ea.failures.empty(); }, seconds(5)));
+  EXPECT_EQ(ea.failures[0].first, dead);
+  EXPECT_TRUE(std::holds_alternative<wire::Neighbor>(ea.failures[0].second));
+}
+
+TEST_F(TcpTransportTest, PeerShutdownReportsLinkClosed) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  a->send(b->local_id(), wire::Join{});
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(5)));
+  b->shutdown();
+  ASSERT_TRUE(loop_.run_until([&] { return !ea.closed_links.empty(); },
+                              seconds(5)));
+  EXPECT_EQ(ea.closed_links[0], b->local_id());
+}
+
+TEST_F(TcpTransportTest, GracefulDisconnectDoesNotNotifyInitiator) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  a->send(b->local_id(), wire::Join{});
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(5)));
+  a->disconnect(b->local_id());
+  loop_.run_until([] { return false; }, milliseconds(200));
+  EXPECT_TRUE(ea.closed_links.empty());
+  EXPECT_TRUE(ea.failures.empty());
+}
+
+TEST_F(TcpTransportTest, DisconnectFlushesPendingMessageFirst) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  // DISCONNECT courtesy pattern: message then teardown.
+  a->send(b->local_id(), wire::Disconnect{});
+  a->disconnect(b->local_id());
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(5)));
+  EXPECT_TRUE(
+      std::holds_alternative<wire::Disconnect>(eb.deliveries[0].second));
+}
+
+TEST_F(TcpTransportTest, SimultaneousDialsBothDirectionsStillDeliver) {
+  RecordingEndpoint ea;
+  RecordingEndpoint eb;
+  auto a = make_transport(&ea, 1);
+  auto b = make_transport(&eb, 2);
+
+  a->send(b->local_id(), wire::Gossip{1, 0, 0});
+  b->send(a->local_id(), wire::Gossip{2, 0, 0});
+  ASSERT_TRUE(loop_.run_until(
+      [&] { return !ea.deliveries.empty() && !eb.deliveries.empty(); },
+      seconds(5)));
+  EXPECT_EQ(std::get<wire::Gossip>(eb.deliveries[0].second).msg_id, 1u);
+  EXPECT_EQ(std::get<wire::Gossip>(ea.deliveries[0].second).msg_id, 2u);
+}
+
+TEST_F(TcpTransportTest, ShutdownIsIdempotent) {
+  RecordingEndpoint ea;
+  auto a = make_transport(&ea, 1);
+  a->shutdown();
+  a->shutdown();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hyparview::net

@@ -1,0 +1,104 @@
+#include "hyparview/sim/min_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "hyparview/common/rng.hpp"
+
+namespace hyparview::sim {
+namespace {
+
+struct IntLess {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+TEST(MinHeapTest, EmptyInitially) {
+  MinHeap<int, IntLess> heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+TEST(MinHeapTest, PushPopOrdered) {
+  MinHeap<int, IntLess> heap;
+  for (const int v : {5, 1, 4, 2, 3}) heap.push(v);
+  std::vector<int> out;
+  while (!heap.empty()) out.push_back(heap.pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(MinHeapTest, TopDoesNotRemove) {
+  MinHeap<int, IntLess> heap;
+  heap.push(7);
+  heap.push(3);
+  EXPECT_EQ(heap.top(), 3);
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(MinHeapTest, HandlesDuplicates) {
+  MinHeap<int, IntLess> heap;
+  for (const int v : {2, 2, 1, 1, 3}) heap.push(v);
+  std::vector<int> out;
+  while (!heap.empty()) out.push_back(heap.pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 2, 2, 3}));
+}
+
+TEST(MinHeapTest, RandomizedAgainstSort) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    MinHeap<int, IntLess> heap;
+    std::vector<int> reference;
+    const int n = 1 + static_cast<int>(rng.below(200));
+    for (int i = 0; i < n; ++i) {
+      const int v = static_cast<int>(rng.below(1000));
+      heap.push(v);
+      reference.push_back(v);
+    }
+    std::sort(reference.begin(), reference.end());
+    std::vector<int> out;
+    while (!heap.empty()) out.push_back(heap.pop());
+    EXPECT_EQ(out, reference);
+  }
+}
+
+TEST(MinHeapTest, InterleavedPushPop) {
+  MinHeap<int, IntLess> heap;
+  heap.push(10);
+  heap.push(5);
+  EXPECT_EQ(heap.pop(), 5);
+  heap.push(1);
+  heap.push(7);
+  EXPECT_EQ(heap.pop(), 1);
+  EXPECT_EQ(heap.pop(), 7);
+  EXPECT_EQ(heap.pop(), 10);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(MinHeapTest, MoveOnlyPayload) {
+  struct PtrLess {
+    bool operator()(const std::unique_ptr<int>& a,
+                    const std::unique_ptr<int>& b) const {
+      return *a < *b;
+    }
+  };
+  MinHeap<std::unique_ptr<int>, PtrLess> heap;
+  heap.push(std::make_unique<int>(3));
+  heap.push(std::make_unique<int>(1));
+  heap.push(std::make_unique<int>(2));
+  EXPECT_EQ(*heap.pop(), 1);
+  EXPECT_EQ(*heap.pop(), 2);
+  EXPECT_EQ(*heap.pop(), 3);
+}
+
+TEST(MinHeapTest, ClearEmpties) {
+  MinHeap<int, IntLess> heap;
+  heap.push(1);
+  heap.push(2);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+}
+
+}  // namespace
+}  // namespace hyparview::sim

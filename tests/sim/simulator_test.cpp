@@ -1,0 +1,408 @@
+#include "hyparview/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hyparview::sim {
+namespace {
+
+/// Records every upcall for assertions.
+class RecordingHandler final : public membership::Endpoint {
+ public:
+  struct Delivery {
+    NodeId from;
+    wire::Message msg;
+  };
+  struct Failure {
+    NodeId to;
+    wire::Message msg;
+  };
+
+  void deliver(const NodeId& from, const wire::Message& msg) override {
+    deliveries.push_back({from, msg});
+  }
+  void send_failed(const NodeId& to, const wire::Message& msg) override {
+    failures.push_back({to, msg});
+  }
+  void link_closed(const NodeId& peer) override {
+    closed_links.push_back(peer);
+  }
+
+  std::vector<Delivery> deliveries;
+  std::vector<Failure> failures;
+  std::vector<NodeId> closed_links;
+};
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimConfig config_{};
+};
+
+TEST_F(SimulatorTest, AddNodesAssignsDenseIndices) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  EXPECT_EQ(sim.add_node(&h), NodeId::from_index(0));
+  EXPECT_EQ(sim.add_node(&h), NodeId::from_index(1));
+  EXPECT_EQ(sim.node_count(), 2u);
+  EXPECT_EQ(sim.alive_count(), 2u);
+}
+
+TEST_F(SimulatorTest, DeliversMessageWithLatency) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+
+  sim.env(a).send(b, wire::Join{});
+  EXPECT_TRUE(hb.deliveries.empty());  // asynchronous
+  sim.run_until_quiescent();
+  ASSERT_EQ(hb.deliveries.size(), 1u);
+  EXPECT_EQ(hb.deliveries[0].from, a);
+  EXPECT_TRUE(std::holds_alternative<wire::Join>(hb.deliveries[0].msg));
+  EXPECT_GE(sim.now(), config_.latency_min);
+  EXPECT_LE(sim.now(), config_.latency_max);
+}
+
+TEST_F(SimulatorTest, SendOpensSymmetricLink) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  EXPECT_FALSE(sim.linked(a, b));
+  sim.env(a).send(b, wire::Join{});
+  EXPECT_TRUE(sim.linked(a, b));
+  EXPECT_TRUE(sim.linked(b, a));
+}
+
+TEST_F(SimulatorTest, DisconnectClosesLocallyThenNotifiesRemote) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.env(a).send(b, wire::Join{});
+  sim.env(b).disconnect(a);
+  // b's side closes immediately; a still holds a half-open link until the
+  // FIN notification is dispatched.
+  EXPECT_FALSE(sim.linked(b, a) && !sim.linked(a, b));
+  sim.run_until_quiescent();
+  EXPECT_FALSE(sim.linked(a, b));
+  EXPECT_FALSE(sim.linked(b, a));
+  ASSERT_EQ(ha.closed_links.size(), 1u);
+  EXPECT_EQ(ha.closed_links[0], b);
+}
+
+TEST_F(SimulatorTest, MutualDisconnectSuppressesNotifications) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.env(a).send(b, wire::Join{});
+  // Both ends close (the polite DISCONNECT pattern): nobody is notified.
+  sim.env(a).disconnect(b);
+  sim.env(b).disconnect(a);
+  sim.run_until_quiescent();
+  EXPECT_TRUE(ha.closed_links.empty());
+  EXPECT_TRUE(hb.closed_links.empty());
+}
+
+TEST_F(SimulatorTest, CloseNotificationArrivesAfterInFlightMessages) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  // Message then immediate close: the data must be processed first, like a
+  // FIN queued behind the stream.
+  sim.env(a).send(b, wire::Disconnect{});
+  sim.env(a).disconnect(b);
+  bool saw_msg_first = false;
+  while (sim.step()) {
+    if (!hb.deliveries.empty() && hb.closed_links.empty()) {
+      saw_msg_first = true;
+    }
+  }
+  EXPECT_TRUE(saw_msg_first);
+  ASSERT_EQ(hb.deliveries.size(), 1u);
+}
+
+TEST_F(SimulatorTest, SendToCrashedNodeFailsBack) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.crash(b);
+  sim.env(a).send(b, wire::Neighbor{true});
+  sim.run_until_quiescent();
+  EXPECT_TRUE(hb.deliveries.empty());
+  ASSERT_EQ(ha.failures.size(), 1u);
+  EXPECT_EQ(ha.failures[0].to, b);
+  EXPECT_TRUE(std::holds_alternative<wire::Neighbor>(ha.failures[0].msg));
+  EXPECT_EQ(sim.sends_failed(), 1u);
+}
+
+TEST_F(SimulatorTest, CrashWhileInFlightAlsoFailsBack) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.env(a).send(b, wire::Join{});
+  sim.crash(b);  // after send, before delivery
+  sim.run_until_quiescent();
+  EXPECT_TRUE(hb.deliveries.empty());
+  ASSERT_EQ(ha.failures.size(), 1u);
+}
+
+TEST_F(SimulatorTest, DetectOnSendDoesNotNotifyPeersOfCrash) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.env(a).send(b, wire::Join{});
+  sim.run_until_quiescent();
+  sim.crash(b);
+  sim.run_until_quiescent();
+  EXPECT_TRUE(ha.closed_links.empty());
+}
+
+TEST_F(SimulatorTest, NotifyOnCrashClosesLinks) {
+  config_.notify_on_crash = true;
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.env(a).send(b, wire::Join{});
+  sim.run_until_quiescent();
+  sim.crash(b);
+  sim.run_until_quiescent();
+  ASSERT_EQ(ha.closed_links.size(), 1u);
+  EXPECT_EQ(ha.closed_links[0], b);
+}
+
+TEST_F(SimulatorTest, CrashedNodeSendsNothing) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.crash(a);
+  sim.env(a).send(b, wire::Join{});
+  sim.run_until_quiescent();
+  EXPECT_TRUE(hb.deliveries.empty());
+  EXPECT_EQ(sim.messages_sent(), 0u);
+}
+
+TEST_F(SimulatorTest, ConnectToAliveSucceeds) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  bool called = false;
+  bool result = false;
+  sim.env(a).connect(b, [&](bool ok) {
+    called = true;
+    result = ok;
+  });
+  EXPECT_FALSE(called);  // asynchronous
+  sim.run_until_quiescent();
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(result);
+  EXPECT_TRUE(sim.linked(a, b));
+}
+
+TEST_F(SimulatorTest, ConnectToCrashedFails) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  sim.crash(b);
+  bool result = true;
+  sim.env(a).connect(b, [&](bool ok) { result = ok; });
+  sim.run_until_quiescent();
+  EXPECT_FALSE(result);
+  EXPECT_FALSE(sim.linked(a, b));
+}
+
+TEST_F(SimulatorTest, ScheduleRunsTask) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  int runs = 0;
+  sim.env(a).schedule(milliseconds(5), [&] { ++runs; });
+  sim.run_until_quiescent();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.now(), milliseconds(5));
+}
+
+TEST_F(SimulatorTest, ScheduledTaskDroppedIfNodeCrashes) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  int runs = 0;
+  sim.env(a).schedule(milliseconds(5), [&] { ++runs; });
+  sim.crash(a);
+  sim.run_until_quiescent();
+  EXPECT_EQ(runs, 0);
+}
+
+TEST_F(SimulatorTest, TimeAdvancesMonotonically) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  std::vector<TimePoint> times;
+  for (int i = 0; i < 10; ++i) {
+    sim.env(a).send(b, wire::Gossip{static_cast<std::uint64_t>(i), 0, 0});
+  }
+  TimePoint last = -1;
+  while (sim.step()) {
+    EXPECT_GE(sim.now(), last);
+    last = sim.now();
+  }
+}
+
+TEST_F(SimulatorTest, FifoAmongEqualTimestamps) {
+  // With zero latency, messages between the same pair keep send order.
+  config_.latency_min = 0;
+  config_.latency_max = 0;
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    sim.env(a).send(b, wire::Gossip{i, 0, 0});
+  }
+  sim.run_until_quiescent();
+  ASSERT_EQ(hb.deliveries.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(std::get<wire::Gossip>(hb.deliveries[i].msg).msg_id, i);
+  }
+}
+
+TEST_F(SimulatorTest, CountersTrackTraffic) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  sim.env(a).send(b, wire::Join{});
+  sim.env(a).send(b, wire::Disconnect{});
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.messages_sent(), 2u);
+  EXPECT_EQ(sim.messages_delivered(), 2u);
+  EXPECT_EQ(sim.sent_by_type()[wire::type_tag(wire::Message{wire::Join{}})],
+            1u);
+  sim.reset_counters();
+  EXPECT_EQ(sim.messages_sent(), 0u);
+}
+
+TEST_F(SimulatorTest, ByteCountersChargeWireCostPerSend) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  const wire::Message join = wire::Join{};
+  const wire::Message gossip = wire::Gossip{7, 0, 128};
+  sim.env(a).send(b, join);
+  sim.env(a).send(b, gossip);
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.bytes_sent(), wire::wire_cost(join) + wire::wire_cost(gossip));
+  EXPECT_EQ(sim.bytes_by_type()[wire::type_tag(gossip)],
+            wire::wire_cost(gossip));
+  sim.reset_counters();
+  EXPECT_EQ(sim.bytes_sent(), 0u);
+  EXPECT_EQ(sim.bytes_by_type()[wire::type_tag(join)], 0u);
+}
+
+TEST_F(SimulatorTest, ConnectionCounterCountsEstablishmentsOnce) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  const NodeId c = sim.add_node(&h);
+  // Two sends over one (implicitly dialed) link: one handshake.
+  sim.env(a).send(b, wire::Join{});
+  sim.env(a).send(b, wire::Disconnect{});
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.connections_opened(), 1u);
+  // Explicit connect to a fresh peer: a second handshake.
+  bool connected = false;
+  sim.env(a).connect(c, [&](bool ok) { connected = ok; });
+  sim.run_until_quiescent();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(sim.connections_opened(), 2u);
+  // connect() over the already-open link is free.
+  sim.env(a).connect(c, [](bool) {});
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.connections_opened(), 2u);
+  // Failed sends never open connections.
+  sim.crash(c);
+  sim.env(a).send(c, wire::Join{});
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.connections_opened(), 2u);
+}
+
+TEST_F(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_digest = [&]() {
+    Simulator sim(config_);
+    RecordingHandler ha;
+    RecordingHandler hb;
+    const NodeId a = sim.add_node(&ha);
+    const NodeId b = sim.add_node(&hb);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      sim.env(a).send(b, wire::Gossip{i, 0, 0});
+      sim.env(b).send(a, wire::Gossip{100 + i, 0, 0});
+    }
+    sim.run_until_quiescent();
+    return sim.now();
+  };
+  EXPECT_EQ(run_digest(), run_digest());
+}
+
+TEST_F(SimulatorTest, PerNodeRngStreamsDiffer) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (sim.env(a).rng().next() == sim.env(b).rng().next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST_F(SimulatorTest, AliveCountTracksCrashes) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  sim.add_node(&h);
+  sim.add_node(&h);
+  EXPECT_EQ(sim.alive_count(), 3u);
+  sim.crash(a);
+  EXPECT_EQ(sim.alive_count(), 2u);
+  sim.crash(a);  // idempotent
+  EXPECT_EQ(sim.alive_count(), 2u);
+  EXPECT_FALSE(sim.alive(a));
+}
+
+TEST_F(SimulatorTest, FixedLatencyExactDeliveryTime) {
+  config_.latency_min = milliseconds(3);
+  config_.latency_max = milliseconds(3);
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  sim.env(a).send(b, wire::Join{});
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.now(), milliseconds(3));
+}
+
+}  // namespace
+}  // namespace hyparview::sim

@@ -1,0 +1,93 @@
+// Deterministic in-memory Env for protocol unit tests: records every
+// outgoing action and lets the test complete connects / fire timers by hand.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/membership/env.hpp"
+
+namespace hyparview::test {
+
+class FakeEnv final : public membership::Env {
+ public:
+  struct SentMessage {
+    NodeId to;
+    wire::Message msg;
+  };
+  struct ConnectRequest {
+    NodeId to;
+    std::function<void(bool)> cb;
+    bool completed = false;
+  };
+  struct ScheduledTask {
+    Duration delay;
+    std::function<void()> fn;
+  };
+
+  explicit FakeEnv(NodeId self, std::uint64_t seed = 1)
+      : self_(self), rng_(seed) {}
+
+  [[nodiscard]] NodeId self() const override { return self_; }
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  void send(const NodeId& to, wire::Message msg) override {
+    sent.push_back({to, std::move(msg)});
+  }
+
+  void connect(const NodeId& to, std::function<void(bool)> cb) override {
+    connects.push_back({to, std::move(cb), false});
+  }
+
+  void disconnect(const NodeId& to) override { disconnects.push_back(to); }
+
+  void schedule(Duration delay, std::function<void()> fn) override {
+    tasks.push_back({delay, std::move(fn)});
+  }
+
+  // --- Test controls ---------------------------------------------------------
+
+  void advance(Duration d) { now_ += d; }
+
+  /// Completes the i-th pending connect with the given outcome.
+  void complete_connect(std::size_t i, bool ok) {
+    HPV_CHECK(i < connects.size());
+    HPV_CHECK(!connects[i].completed);
+    connects[i].completed = true;
+    connects[i].cb(ok);
+  }
+
+  /// Messages of type M sent so far, in order.
+  template <typename M>
+  [[nodiscard]] std::vector<std::pair<NodeId, M>> sent_of_type() const {
+    std::vector<std::pair<NodeId, M>> out;
+    for (const auto& s : sent) {
+      if (const auto* m = std::get_if<M>(&s.msg)) {
+        out.emplace_back(s.to, *m);
+      }
+    }
+    return out;
+  }
+
+  void clear() {
+    sent.clear();
+    connects.clear();
+    disconnects.clear();
+    tasks.clear();
+  }
+
+  std::vector<SentMessage> sent;
+  std::vector<ConnectRequest> connects;
+  std::vector<NodeId> disconnects;
+  std::vector<ScheduledTask> tasks;
+
+ private:
+  NodeId self_;
+  Rng rng_;
+  TimePoint now_ = 0;
+};
+
+}  // namespace hyparview::test
