@@ -249,7 +249,11 @@ std::size_t Network::pick_alive_index() {
 }
 
 analysis::MessageResult Network::broadcast_one() {
-  const std::size_t source = pick_alive_index();
+  return broadcast_from(pick_alive_index());
+}
+
+analysis::MessageResult Network::broadcast_from(std::size_t source) {
+  HPV_CHECK(source < runtimes_.size() && alive(source));
   const std::uint64_t msg_id = next_msg_id_++;
   recorder_.begin_message(msg_id, sim_.alive_count());
   runtimes_[source]->gossip().broadcast(msg_id);

@@ -128,6 +128,12 @@ class Network {
   /// (including any reactive repair traffic) and returns the record.
   analysis::MessageResult broadcast_one();
 
+  /// One broadcast from node `source` (must be alive); same draining
+  /// semantics. Lets scenarios pick responsive sources explicitly — a
+  /// blocked node initiates nothing, so broadcasting "from" it measures
+  /// only that the process is frozen.
+  analysis::MessageResult broadcast_from(std::size_t source);
+
   /// `count` sequential broadcasts (each drains before the next).
   std::vector<analysis::MessageResult> broadcast_many(std::size_t count);
 

@@ -140,6 +140,52 @@ bool Simulator::blocked(const NodeId& id) const {
   return nodes_[id.ip].blocked;
 }
 
+bool Simulator::drop_link(const NodeId& a, const NodeId& b) {
+  HPV_CHECK(a.ip < nodes_.size() && b.ip < nodes_.size());
+  // Schedule a generation-checked close for each side still open; the links
+  // themselves are removed at dispatch, so racing closes and reconnections
+  // resolve exactly like do_disconnect-initiated teardowns.
+  bool scheduled = false;
+  for (const auto& [owner, other] : {std::pair{a.ip, b.ip}, {b.ip, a.ip}}) {
+    const Link* side = link_find(nodes_[owner].links, other);
+    if (side == nullptr || !nodes_[owner].alive) continue;
+    Event ev;
+    ev.at = now_ + config_.failure_detect_delay;
+    ev.kind = EventKind::kLinkClosed;
+    ev.node = owner;
+    ev.peer = other;
+    ev.link_gen = side->gen;
+    push_event(std::move(ev));
+    scheduled = true;
+  }
+  return scheduled;
+}
+
+std::size_t Simulator::drop_random_links(double fraction) {
+  HPV_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  // Collect every open connection once (normalized lo<hi key; sides can be
+  // asymmetric after detect-on-send crashes), sorted for determinism.
+  std::vector<std::uint64_t> pairs;
+  for (std::uint32_t x = 0; x < nodes_.size(); ++x) {
+    for (const Link& link : nodes_[x].links) {
+      const std::uint32_t lo = std::min(x, link.peer);
+      const std::uint32_t hi = std::max(x, link.peer);
+      pairs.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  std::size_t dropped = 0;
+  for (const std::uint64_t key : pairs) {
+    if (!master_rng_.chance(fraction)) continue;
+    if (drop_link(NodeId::from_index(static_cast<std::uint32_t>(key >> 32)),
+                  NodeId::from_index(static_cast<std::uint32_t>(key)))) {
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
 membership::Env& Simulator::env(const NodeId& id) {
   HPV_CHECK(id.ip < nodes_.size());
   return *nodes_[id.ip].env;

@@ -90,6 +90,19 @@ class Simulator {
 
   [[nodiscard]] bool blocked(const NodeId& id) const;
 
+  /// Forcibly resets the open connection between a and b (flaky-network
+  /// fault injection): each alive endpoint still holding its side observes
+  /// on_link_closed after the detection delay, exactly as if the TCP
+  /// connection had been RST by the network. Returns false (and does
+  /// nothing) when no close could be scheduled — no open link, or only
+  /// stale sides held by dead nodes.
+  bool drop_link(const NodeId& a, const NodeId& b);
+
+  /// Resets each currently-open connection independently with probability
+  /// `fraction` (drawn from the master RNG; deterministic under a fixed
+  /// seed). Returns the number of connections dropped.
+  std::size_t drop_random_links(double fraction);
+
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Harness-level random stream (failure selection, source selection...).
