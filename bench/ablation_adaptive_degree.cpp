@@ -41,6 +41,7 @@ std::uint64_t forwarded_by_class(harness::Network& net, std::size_t cls) {
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/100);
+  bench::JsonRecorder bench_json("ablation_adaptive_degree", scale);
   bench::print_header(
       "Extension E2 — adaptive degree / heterogeneous fanout (HyParView)",
       "paper §6 future work: adapt node degree to capacity", scale);
@@ -100,6 +101,7 @@ int main() {
         rel_sum += net.broadcast_one().reliability();
       }
       post_failure.push_back(rel_sum / static_cast<double>(scale.messages));
+      bench_json.add_events(net.simulator().events_processed());
     }
 
     table.add_row({scenario.name, analysis::fmt_percent(stable_rel, 1),

@@ -9,7 +9,7 @@ using namespace hyparview;
 namespace {
 
 double burst_reliability(harness::NetworkConfig cfg, double fraction,
-                         std::size_t messages) {
+                         std::size_t messages, bench::JsonRecorder* rec) {
   harness::Network net(cfg);
   net.build();
   net.run_cycles(50);
@@ -21,6 +21,7 @@ double burst_reliability(harness::NetworkConfig cfg, double fraction,
   for (std::size_t m = 0; m < messages; ++m) {
     sum += net.broadcast_one().reliability();
   }
+  rec->add_events(net.simulator().events_processed());
   return sum / static_cast<double>(messages);
 }
 
@@ -28,6 +29,7 @@ double burst_reliability(harness::NetworkConfig cfg, double fraction,
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/200);
+  bench::JsonRecorder bench_json("ablation_failure_detection", scale);
   bench::print_header("Ablation A3 — failure detection & re-routing",
                       "modelling choices behind §4.3 / DESIGN.md", scale);
 
@@ -53,7 +55,7 @@ int main() {
       cfg.sim.notify_on_crash = v.notify;
       cfg.gossip.reroute_on_failure = v.reroute;
       row.push_back(analysis::fmt_percent(
-          burst_reliability(cfg, fraction, scale.messages), 1));
+          burst_reliability(cfg, fraction, scale.messages, &bench_json), 1));
       std::printf("[%s @ %.0f%%: %.1fs]\n", v.name, fraction * 100,
                   watch.seconds());
     }

@@ -7,6 +7,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/200);
+  bench::JsonRecorder bench_json("ablation_passive_size", scale);
   bench::print_header(
       "Ablation A1 — passive view size vs resilience (HyParView)",
       "paper §6 (future work): passive size vs supported failures", scale);
@@ -33,6 +34,7 @@ int main() {
         last = net.broadcast_one().reliability();
         sum += last;
       }
+      bench_json.add_events(net.simulator().events_processed());
       table.add_row({std::to_string(passive),
                      analysis::fmt(fraction * 100.0, 0),
                      analysis::fmt_percent(

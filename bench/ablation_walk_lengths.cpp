@@ -9,6 +9,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/50);
+  bench::JsonRecorder bench_json("ablation_walk_lengths", scale);
   bench::print_header("Ablation A2 — ARWL/PRWL walk lengths (HyParView)",
                       "paper §4.2 parameters (ARWL=6, PRWL=3 in §5.1)", scale);
 
@@ -50,6 +51,7 @@ int main() {
     }
     rel /= static_cast<double>(std::max<std::size_t>(scale.messages, 1));
 
+    bench_json.add_events(net.simulator().events_processed());
     table.add_row({std::to_string(s.arwl), std::to_string(s.prwl),
                    graph::is_weakly_connected(g) ? "yes" : "NO",
                    analysis::fmt(summary.stddev, 2),

@@ -33,6 +33,7 @@ std::vector<std::uint64_t> warm_promotions_per_node(harness::Network& net) {
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/100);
+  bench::JsonRecorder bench_json("ablation_warm_cache", scale);
   bench::print_header(
       "Ablation A4 — warm passive-connection cache (CREW §2.4)",
       "paper §2.4 (CREW comparison): pre-opened connections to passive members",
@@ -91,6 +92,7 @@ int main() {
            analysis::fmt(static_cast<double>(repair_warm_promos) / alive, 2),
            analysis::fmt(static_cast<double>(sim.connections_opened()) / alive,
                          2)});
+      bench_json.add_events(sim.events_processed());
       std::printf("[warm=%zu @ %.0f%%: %.1fs]\n", warm, fraction * 100,
                   watch.seconds());
     }

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hyparview/analysis/stats.hpp"
 #include "hyparview/analysis/table.hpp"
@@ -49,5 +51,68 @@ inline std::unique_ptr<harness::Network> stabilized_network(
   net->run_cycles(cycles);
   return net;
 }
+
+/// Machine-readable benchmark record, written as BENCH_<name>.json in the
+/// working directory so the perf trajectory is tracked across PRs (diffable,
+/// greppable, trivially parsed by CI).
+inline void write_bench_json(
+    const char* name, const harness::BenchScale& scale, double wall_seconds,
+    std::uint64_t events,
+    const std::vector<std::pair<std::string, double>>& extra = {}) {
+  const std::string path = std::string("BENCH_") + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", name);
+  std::fprintf(f, "  \"nodes\": %zu,\n", scale.nodes);
+  std::fprintf(f, "  \"messages\": %zu,\n", scale.messages);
+  std::fprintf(f, "  \"runs\": %zu,\n", scale.runs);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(scale.seed));
+  std::fprintf(f, "  \"quick\": %s,\n", scale.quick ? "true" : "false");
+  std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall_seconds);
+  std::fprintf(f, "  \"events\": %llu,\n",
+               static_cast<unsigned long long>(events));
+  std::fprintf(f, "  \"events_per_second\": %.0f",
+               wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                                  : 0.0);
+  for (const auto& [key, value] : extra) {
+    std::fprintf(f, ",\n  \"%s\": %g", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("[bench json → %s]\n", path.c_str());
+}
+
+/// RAII bench record: starts timing at construction, accumulates simulator
+/// event counts as networks finish, writes BENCH_<name>.json on destruction
+/// (so a driver cannot forget the emit and every exit path is covered).
+class JsonRecorder {
+ public:
+  JsonRecorder(const char* name, const harness::BenchScale& scale)
+      : name_(name), scale_(scale) {}
+
+  JsonRecorder(const JsonRecorder&) = delete;
+  JsonRecorder& operator=(const JsonRecorder&) = delete;
+
+  ~JsonRecorder() {
+    write_bench_json(name_, scale_, watch_.seconds(), events_, extra_);
+  }
+
+  void add_events(std::uint64_t n) { events_ += n; }
+  void add_metric(std::string key, double value) {
+    extra_.emplace_back(std::move(key), value);
+  }
+
+ private:
+  const char* name_;
+  harness::BenchScale scale_;
+  Stopwatch watch_;
+  std::uint64_t events_ = 0;
+  std::vector<std::pair<std::string, double>> extra_;
+};
 
 }  // namespace hyparview::bench

@@ -15,6 +15,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/100);
+  bench::JsonRecorder bench_json("churn_stability", scale);
   bench::print_header(
       "Extension E1 — reliability under continuous churn",
       "extends §5.2 (single failure burst) to steady join/leave turnover",
@@ -45,6 +46,7 @@ int main() {
           static_cast<double>(graph::largest_weakly_connected_component(g)) /
           static_cast<double>(net->alive_count());
 
+      bench_json.add_events(net->simulator().events_processed());
       table.add_row({harness::kind_name(kind),
                      analysis::fmt(rate * 100.0, 1),
                      analysis::fmt_percent(stats.avg_reliability, 1),

@@ -11,6 +11,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/50);
+  bench::JsonRecorder bench_json("fig1_fanout_reliability", scale);
   bench::print_header("Figure 1a/1b — fanout vs reliability (stable overlay)",
                       "paper §3.1, Fig. 1(a)(b)", scale);
 
@@ -43,6 +44,7 @@ int main() {
                        analysis::fmt_percent(summary.mean, 2),
                        analysis::fmt_percent(summary.min, 2), paper});
       }
+      bench_json.add_events(net->simulator().events_processed());
       std::printf("[%s run %zu done in %.1fs]\n", harness::kind_name(kind),
                   run, watch.seconds());
     }
@@ -56,6 +58,7 @@ int main() {
     for (std::size_t m = 0; m < scale.messages; ++m) {
       rels.push_back(net->broadcast_one().reliability());
     }
+    bench_json.add_events(net->simulator().events_processed());
     const auto summary = analysis::summarize(rels);
     table.add_row({"HyParView (flood)", "4*",
                    analysis::fmt_percent(summary.mean, 2),

@@ -9,6 +9,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/100);
+  bench::JsonRecorder bench_json("fig1c_failure50", scale);
   bench::print_header("Figure 1c — messages after 50% failures",
                       "paper §3.2, Fig. 1(c)", scale);
 
@@ -25,6 +26,7 @@ int main() {
       rels.push_back(net->broadcast_one().reliability());
     }
     columns.push_back(std::move(rels));
+    bench_json.add_events(net->simulator().events_processed());
     std::printf("[%s done in %.1fs]\n", harness::kind_name(kind),
                 watch.seconds());
   }

@@ -11,6 +11,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/1000);
+  bench::JsonRecorder bench_json("fig2_reliability_vs_failures", scale);
   bench::print_header("Figure 2 — reliability of 1000 messages vs failure %",
                       "paper §5.2, Fig. 2", scale);
 
@@ -39,6 +40,7 @@ int main() {
           acc += net->broadcast_one().reliability();
         }
         sum += acc / static_cast<double>(scale.messages);
+        bench_json.add_events(net->simulator().events_processed());
       }
       rows[f][column] =
           analysis::fmt_percent(sum / static_cast<double>(scale.runs), 1);

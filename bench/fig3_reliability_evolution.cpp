@@ -11,6 +11,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/1000);
+  bench::JsonRecorder bench_json("fig3_reliability_evolution", scale);
   bench::print_header("Figure 3 — reliability evolution after failures",
                       "paper §5.2, Fig. 3(a)-(f)", scale);
 
@@ -41,6 +42,7 @@ int main() {
       for (std::size_t m = 0; m < scale.messages; ++m) {
         rels.push_back(net->broadcast_one().reliability());
       }
+      bench_json.add_events(net->simulator().events_processed());
       std::printf("[%s done in %.1fs]\n", harness::kind_name(kind),
                   watch.seconds());
       series.push_back(std::move(rels));

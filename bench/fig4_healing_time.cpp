@@ -10,6 +10,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/10);
+  bench::JsonRecorder bench_json("fig4_healing_time", scale);
   bench::print_header("Figure 4 — healing time (membership cycles)",
                       "paper §5.3, Fig. 4", scale);
 
@@ -37,6 +38,7 @@ int main() {
       hcfg.max_cycles = 100;
       hcfg.stabilization_cycles = 50;
       const auto result = harness::run_healing_experiment(cfg, hcfg);
+      bench_json.add_events(result.events_processed);
       row.push_back(result.recovered ? std::to_string(result.cycles_to_heal)
                                      : (">" + std::to_string(hcfg.max_cycles)));
       std::printf("[%s @ %.0f%%: %s cycles in %.1fs]\n",

@@ -11,6 +11,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/0);
+  bench::JsonRecorder bench_json("fig5_indegree_distribution", scale);
   bench::print_header("Figure 5 — in-degree distribution after stabilization",
                       "paper §5.4, Fig. 5", scale);
 
@@ -46,6 +47,7 @@ int main() {
     }
     std::cout << table.to_string();
 
+    bench_json.add_events(net->simulator().events_processed());
     const auto indeg = g.in_degrees();
     std::vector<double> values(indeg.begin(), indeg.end());
     const auto summary = analysis::summarize(values);

@@ -1,0 +1,189 @@
+// Microbenchmark + invariant check for the simulator event pipeline.
+//
+// Two claims are verified, not just measured:
+//  1. steady-state message delivery (the dissemination hot path: send →
+//     queue → deliver → re-send) performs ZERO heap allocations per event —
+//     the slim-POD event queue and the free-list payload pools recycle
+//     everything after warm-up;
+//  2. steady-state timer scheduling (Env::schedule → kTask dispatch) is
+//     likewise allocation-free thanks to InplaceFunction + the task pool.
+//
+// The binary exits non-zero if either steady-state phase allocates, so it
+// doubles as a CI regression gate (wired into CTest under the smoke label).
+// Throughput (events/sec) is printed and recorded in
+// BENCH_micro_sim_events.json for cross-PR tracking.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.hpp"
+#include "hyparview/sim/simulator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Counting global allocator: every heap allocation in the process bumps the
+// counter. The steady-state phases below assert the delta is exactly zero.
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocs;
+  const auto a = static_cast<std::size_t>(align);
+  void* p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace hyparview {
+namespace {
+
+/// Endpoint that answers every delivered gossip frame with another one until
+/// `remaining` runs out — a two-node ping-pong that keeps exactly one
+/// message event in flight, exercising the deliver path millions of times.
+class PingPong final : public membership::Endpoint {
+ public:
+  PingPong(membership::Env& env, NodeId peer, std::uint64_t exchanges)
+      : env_(env), peer_(peer), remaining_(exchanges) {}
+
+  void deliver(const NodeId& /*from*/, const wire::Message& msg) override {
+    if (remaining_ == 0) return;
+    --remaining_;
+    const auto& gossip = std::get<wire::Gossip>(msg);
+    wire::Gossip next = gossip;
+    next.hops = static_cast<std::uint16_t>(gossip.hops + 1);
+    env_.send(peer_, next);
+  }
+
+  void send_failed(const NodeId&, const wire::Message&) override {}
+  void link_closed(const NodeId&) override {}
+
+  void reset(std::uint64_t exchanges) { remaining_ = exchanges; }
+
+ private:
+  membership::Env& env_;
+  NodeId peer_;
+  std::uint64_t remaining_;
+};
+
+/// Self-re-arming timer chain: each fired task schedules the next one,
+/// exercising the task pool's put/take recycling.
+struct TimerChain {
+  membership::Env* env = nullptr;
+  std::uint64_t remaining = 0;
+
+  void arm() {
+    if (remaining == 0) return;
+    --remaining;
+    env->schedule(microseconds(10), [this] { arm(); });
+  }
+};
+
+int run() {
+  const auto scale = harness::BenchScale::from_env(/*messages=*/0);
+  std::printf("micro_sim_events — event-pipeline throughput & allocation "
+              "audit\n");
+
+  sim::SimConfig cfg;
+  cfg.seed = scale.seed;
+  sim::Simulator sim(cfg);
+  const NodeId a = sim.add_node(nullptr);
+  const NodeId b = sim.add_node(nullptr);
+  PingPong ha(sim.env(a), b, 0);
+  PingPong hb(sim.env(b), a, 0);
+  sim.set_handler(a, &ha);
+  sim.set_handler(b, &hb);
+
+  // --- Phase 1: deliver path -------------------------------------------------
+  constexpr std::uint64_t kWarmup = 20'000;
+  const std::uint64_t exchanges = scale.quick ? 200'000 : 2'000'000;
+
+  // Warm-up: links open, pools and queue grow to their steady footprint.
+  ha.reset(kWarmup);
+  hb.reset(kWarmup);
+  sim.env(a).send(b, wire::Gossip{1, 0, 64});
+  sim.run_until_quiescent();
+
+  ha.reset(exchanges);
+  hb.reset(exchanges);
+  const std::uint64_t allocs_before = g_allocs.load();
+  bench::Stopwatch watch;
+  sim.env(a).send(b, wire::Gossip{2, 0, 64});
+  const std::uint64_t deliver_events = sim.run_until_quiescent();
+  const double deliver_seconds = watch.seconds();
+  const std::uint64_t deliver_allocs = g_allocs.load() - allocs_before;
+
+  std::printf("deliver path : %llu events in %.3fs (%.0f events/sec), "
+              "%llu heap allocations\n",
+              static_cast<unsigned long long>(deliver_events), deliver_seconds,
+              static_cast<double>(deliver_events) / deliver_seconds,
+              static_cast<unsigned long long>(deliver_allocs));
+
+  // --- Phase 2: timer path ---------------------------------------------------
+  TimerChain chain{&sim.env(a), kWarmup};
+  chain.arm();
+  sim.run_until_quiescent();
+
+  chain.remaining = scale.quick ? 100'000 : 1'000'000;
+  const std::uint64_t timer_allocs_before = g_allocs.load();
+  bench::Stopwatch timer_watch;
+  chain.arm();
+  const std::uint64_t timer_events = sim.run_until_quiescent();
+  const double timer_seconds = timer_watch.seconds();
+  const std::uint64_t timer_allocs = g_allocs.load() - timer_allocs_before;
+
+  std::printf("timer path   : %llu events in %.3fs (%.0f events/sec), "
+              "%llu heap allocations\n",
+              static_cast<unsigned long long>(timer_events), timer_seconds,
+              static_cast<double>(timer_events) / timer_seconds,
+              static_cast<unsigned long long>(timer_allocs));
+
+  bench::write_bench_json(
+      "micro_sim_events", scale, deliver_seconds + timer_seconds,
+      deliver_events + timer_events,
+      {{"deliver_events_per_second",
+        static_cast<double>(deliver_events) / deliver_seconds},
+       {"timer_events_per_second",
+        static_cast<double>(timer_events) / timer_seconds},
+       {"deliver_allocs", static_cast<double>(deliver_allocs)},
+       {"timer_allocs", static_cast<double>(timer_allocs)}});
+
+  if (deliver_allocs != 0 || timer_allocs != 0) {
+    std::printf("FAIL: steady-state event processing allocated "
+                "(deliver=%llu, timer=%llu); the zero-allocation invariant "
+                "of the slim-event/slot-pool design regressed.\n",
+                static_cast<unsigned long long>(deliver_allocs),
+                static_cast<unsigned long long>(timer_allocs));
+    return 1;
+  }
+  std::printf("OK: zero heap allocations on both steady-state paths.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyparview
+
+int main() { return hyparview::run(); }

@@ -57,6 +57,7 @@ PhaseTraffic snapshot(const sim::Simulator& sim, std::size_t nodes,
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/100);
+  bench::JsonRecorder bench_json("overhead_accounting", scale);
   bench::print_header(
       "Overhead accounting — control/data frames, bytes and TCP dials",
       "paper §6 future work (PlanetLab packet-overhead measurement)", scale);
@@ -124,6 +125,7 @@ int main() {
          analysis::fmt(static_cast<double>(traffic.ack_frames) / bcasts, 0),
          analysis::fmt(static_cast<double>(traffic.control_bytes) / bcasts, 1),
          analysis::fmt(100.0 * tail_rel / static_cast<double>(tail), 1) + "%"});
+    bench_json.add_events(sim.events_processed());
     std::printf("[%s done in %.1fs]\n", harness::kind_name(kind),
                 watch.seconds());
   }

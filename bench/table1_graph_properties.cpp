@@ -14,6 +14,7 @@ using namespace hyparview;
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/50);
+  bench::JsonRecorder bench_json("table1_graph_properties", scale);
   bench::print_header("Table 1 — graph properties after stabilization",
                       "paper §5.4, Table 1", scale);
 
@@ -53,6 +54,7 @@ int main() {
     const double avg_max_hops =
         hops_sum / static_cast<double>(std::max<std::size_t>(scale.messages, 1));
 
+    bench_json.add_events(net->simulator().events_processed());
     table.add_row({harness::kind_name(row.kind),
                    analysis::fmt(clustering, 6), row.clustering,
                    analysis::fmt(paths.average_shortest_path, 5), row.asp,

@@ -174,14 +174,14 @@ void Cyclon::integrate(const std::vector<wire::AgedId>& received,
   }
 }
 
-std::vector<NodeId> Cyclon::broadcast_targets(std::size_t fanout,
-                                              const NodeId& from) {
-  std::vector<NodeId> candidates;
-  candidates.reserve(view_.size());
+void Cyclon::broadcast_targets(std::size_t fanout, const NodeId& from,
+                               std::vector<NodeId>& out) {
+  target_candidates_.clear();
   for (const auto& entry : view_) {
-    if (entry.id != from) candidates.push_back(entry.id);
+    if (entry.id != from) target_candidates_.push_back(entry.id);
   }
-  return env_.rng().sample(candidates, fanout);
+  env_.rng().sample_into(std::span<const NodeId>(target_candidates_), fanout,
+                         out);
 }
 
 void Cyclon::peer_unreachable(const NodeId& peer) {
@@ -209,14 +209,15 @@ void Cyclon::on_link_closed(const NodeId& peer) {
   if (remove_entry(peer)) ++stats_.entries_purged;
 }
 
-std::vector<NodeId> Cyclon::dissemination_view() const {
-  std::vector<NodeId> ids;
-  ids.reserve(view_.size());
-  for (const auto& entry : view_) ids.push_back(entry.id);
-  return ids;
+std::span<const NodeId> Cyclon::dissemination_view() const {
+  // Project the aged view onto plain ids into a reused per-instance buffer
+  // (valid until the next call / view mutation, per the interface contract).
+  view_ids_.clear();
+  for (const auto& entry : view_) view_ids_.push_back(entry.id);
+  return view_ids_;
 }
 
-std::vector<NodeId> Cyclon::backup_view() const { return {}; }
+std::span<const NodeId> Cyclon::backup_view() const { return {}; }
 
 bool Cyclon::in_view(const NodeId& node) const {
   return std::any_of(view_.begin(), view_.end(),

@@ -61,11 +61,12 @@ class Cyclon final : public membership::Protocol {
   void on_send_failed(const NodeId& to, const wire::Message& msg) override;
   void on_link_closed(const NodeId& peer) override;
   void on_cycle() override;
-  [[nodiscard]] std::vector<NodeId> broadcast_targets(
-      std::size_t fanout, const NodeId& from) override;
+  using membership::Protocol::broadcast_targets;
+  void broadcast_targets(std::size_t fanout, const NodeId& from,
+                         std::vector<NodeId>& out) override;
   void peer_unreachable(const NodeId& peer) override;
-  [[nodiscard]] std::vector<NodeId> dissemination_view() const override;
-  [[nodiscard]] std::vector<NodeId> backup_view() const override;
+  [[nodiscard]] std::span<const NodeId> dissemination_view() const override;
+  [[nodiscard]] std::span<const NodeId> backup_view() const override;
   [[nodiscard]] const char* name() const override {
     return config_.purge_on_unreachable ? "cyclon-acked" : "cyclon";
   }
@@ -99,6 +100,12 @@ class Cyclon final : public membership::Protocol {
   membership::Env& env_;
   CyclonConfig config_;
   std::vector<wire::AgedId> view_;
+
+  /// Scratch buffers reused across calls so the dissemination hot path does
+  /// not allocate: candidate ids for broadcast_targets, and the id
+  /// projection of view_ handed out by dissemination_view().
+  std::vector<NodeId> target_candidates_;
+  mutable std::vector<NodeId> view_ids_;
 
   /// Entries shipped in the most recent outgoing shuffle, used when the
   /// reply arrives. (One shuffle per cycle; replies drain before the next.)

@@ -161,14 +161,14 @@ void Scamp::resubscribe() {
   env_.send(env_.rng().pick(partial_view_), wire::ScampSubscribe{self()});
 }
 
-std::vector<NodeId> Scamp::broadcast_targets(std::size_t fanout,
-                                             const NodeId& from) {
-  std::vector<NodeId> candidates;
-  candidates.reserve(partial_view_.size());
+void Scamp::broadcast_targets(std::size_t fanout, const NodeId& from,
+                              std::vector<NodeId>& out) {
+  target_candidates_.clear();
   for (const NodeId& n : partial_view_) {
-    if (n != from) candidates.push_back(n);
+    if (n != from) target_candidates_.push_back(n);
   }
-  return env_.rng().sample(candidates, fanout);
+  env_.rng().sample_into(std::span<const NodeId>(target_candidates_), fanout,
+                         out);
 }
 
 void Scamp::peer_unreachable(const NodeId& peer) {
@@ -189,9 +189,11 @@ void Scamp::on_link_closed(const NodeId& peer) {
   erase_value(in_view_, peer);
 }
 
-std::vector<NodeId> Scamp::dissemination_view() const { return partial_view_; }
+std::span<const NodeId> Scamp::dissemination_view() const {
+  return partial_view_;
+}
 
-std::vector<NodeId> Scamp::backup_view() const { return in_view_; }
+std::span<const NodeId> Scamp::backup_view() const { return in_view_; }
 
 bool Scamp::in_partial(const NodeId& node) const {
   return std::find(partial_view_.begin(), partial_view_.end(), node) !=

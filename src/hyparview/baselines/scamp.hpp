@@ -63,11 +63,12 @@ class Scamp final : public membership::Protocol {
   void on_send_failed(const NodeId& to, const wire::Message& msg) override;
   void on_link_closed(const NodeId& peer) override;
   void on_cycle() override;
-  [[nodiscard]] std::vector<NodeId> broadcast_targets(
-      std::size_t fanout, const NodeId& from) override;
+  using membership::Protocol::broadcast_targets;
+  void broadcast_targets(std::size_t fanout, const NodeId& from,
+                         std::vector<NodeId>& out) override;
   void peer_unreachable(const NodeId& peer) override;
-  [[nodiscard]] std::vector<NodeId> dissemination_view() const override;
-  [[nodiscard]] std::vector<NodeId> backup_view() const override;
+  [[nodiscard]] std::span<const NodeId> dissemination_view() const override;
+  [[nodiscard]] std::span<const NodeId> backup_view() const override;
   [[nodiscard]] const char* name() const override { return "scamp"; }
 
   /// Graceful departure (§ unsubscription): InView members are told to
@@ -105,6 +106,9 @@ class Scamp final : public membership::Protocol {
   ScampConfig config_;
   std::vector<NodeId> partial_view_;
   std::vector<NodeId> in_view_;
+
+  /// Reused broadcast_targets candidate buffer (dissemination hot path).
+  std::vector<NodeId> target_candidates_;
 
   std::size_t cycle_count_ = 0;
   std::size_t cycles_since_heartbeat_ = 0;

@@ -1,0 +1,156 @@
+// Small-buffer-optimized callable wrapper (allocation-free std::function).
+//
+// The simulator schedules millions of timer tasks and connect callbacks per
+// experiment; wrapping each in std::function costs a heap allocation once the
+// capture exceeds the (implementation-defined, tiny) SBO of the standard
+// library. InplaceFunction stores the callable inline in a fixed buffer and
+// *refuses to compile* when it does not fit, so scheduling is allocation-free
+// by construction, not by luck.
+//
+// Differences from std::function, all deliberate:
+//  * move-only (captured state like pending connect callbacks is moved, never
+//    shared);
+//  * no heap fallback: a callable larger than Capacity is a compile error —
+//    raise the capacity at the use site instead of silently allocating;
+//  * callables must be nothrow-move-constructible (moves happen inside the
+//    event queue's sift operations, which must not throw mid-swap).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hyparview {
+
+namespace detail {
+
+/// Dispatch table shared by every InplaceFunction of one signature. Defined
+/// outside the class so wrappers of different capacities use the *same* table
+/// type, making capacity-widening moves a pointer copy plus a relocate.
+template <typename R, typename... Args>
+struct FunctionOps {
+  R (*invoke)(void*, Args&&...);
+  /// Move-construct into `to` and destroy the source (one table slot instead
+  /// of separate move + destroy keeps the table small).
+  void (*relocate)(void* from, void* to);
+  void (*destroy)(void*);
+
+  template <typename D>
+  static constexpr FunctionOps for_type() {
+    return FunctionOps{
+        [](void* obj, Args&&... args) -> R {
+          return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+        },
+        [](void* from, void* to) {
+          D* src = static_cast<D*>(from);
+          ::new (to) D(std::move(*src));
+          src->~D();
+        },
+        [](void* obj) { static_cast<D*>(obj)->~D(); },
+    };
+  }
+
+  template <typename D>
+  static constexpr FunctionOps table = for_type<D>();
+};
+
+}  // namespace detail
+
+inline constexpr std::size_t kInplaceFunctionDefaultCapacity = 48;
+
+template <typename Signature,
+          std::size_t Capacity = kInplaceFunctionDefaultCapacity>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+  using Ops = detail::FunctionOps<R, Args...>;
+
+ public:
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "callable too large for InplaceFunction buffer; raise the "
+                  "Capacity parameter at the declaration site");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callable over-aligned for InplaceFunction buffer");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "callable must be nothrow-move-constructible (it is moved "
+                  "inside the event queue)");
+    ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+    ops_ = &Ops::template table<D>;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  /// Widening move: adopt a smaller-capacity wrapper. The dispatch table is
+  /// capacity-independent, so this is a relocate, not a re-wrap.
+  template <std::size_t C, typename = std::enable_if_t<(C < Capacity)>>
+  InplaceFunction(InplaceFunction<R(Args...), C>&& other) noexcept  // NOLINT
+      : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buffer_, buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename, std::size_t>
+  friend class InplaceFunction;
+
+  alignas(std::max_align_t) unsigned char buffer_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hyparview

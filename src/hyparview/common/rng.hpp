@@ -115,27 +115,37 @@ class Rng {
   }
 
   /// Uniform sample of min(k, |items|) distinct elements, order randomized.
+  /// Delegates to sample_into(), so both APIs draw the identical number
+  /// stream by construction (fixed-seed results are interchangeable).
   template <typename T>
   std::vector<T> sample(std::span<const T> items, std::size_t k) {
-    std::vector<T> pool(items.begin(), items.end());
-    if (k >= pool.size()) {
-      shuffle(pool);
-      return pool;
-    }
-    // Partial Fisher–Yates: the first k slots end up a uniform sample.
-    for (std::size_t i = 0; i < k; ++i) {
-      const std::size_t j =
-          i + static_cast<std::size_t>(below(pool.size() - i));
-      using std::swap;
-      swap(pool[i], pool[j]);
-    }
-    pool.resize(k);
-    return pool;
+    std::vector<T> out;
+    sample_into(items, k, out);
+    return out;
   }
 
   template <typename T>
   std::vector<T> sample(const std::vector<T>& items, std::size_t k) {
     return sample(std::span<const T>(items), k);
+  }
+
+  /// sample() into a caller-provided vector (reused capacity, no allocation
+  /// in steady state).
+  template <typename T>
+  void sample_into(std::span<const T> items, std::size_t k,
+                   std::vector<T>& out) {
+    out.assign(items.begin(), items.end());
+    if (k >= out.size()) {
+      shuffle(out);
+      return;
+    }
+    // Partial Fisher–Yates: the first k slots end up a uniform sample.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(below(out.size() - i));
+      using std::swap;
+      swap(out[i], out[j]);
+    }
+    out.resize(k);
   }
 
  private:

@@ -243,15 +243,14 @@ void HyParView::integrate_shuffle_entries(
   }
 }
 
-std::vector<NodeId> HyParView::broadcast_targets(std::size_t /*fanout*/,
-                                                 const NodeId& from) {
+void HyParView::broadcast_targets(std::size_t /*fanout*/, const NodeId& from,
+                                  std::vector<NodeId>& out) {
   // Deterministic flood: the entire active view except the relayer.
-  std::vector<NodeId> targets;
-  targets.reserve(active_.size());
+  out.clear();
+  out.reserve(active_.size());
   for (const NodeId& n : active_) {
-    if (n != from) targets.push_back(n);
+    if (n != from) out.push_back(n);
   }
-  return targets;
 }
 
 void HyParView::peer_unreachable(const NodeId& peer) { node_failed(peer); }
@@ -494,9 +493,11 @@ void HyParView::refresh_warm_cache() {
   }
 }
 
-std::vector<NodeId> HyParView::dissemination_view() const { return active_; }
+std::span<const NodeId> HyParView::dissemination_view() const {
+  return active_;
+}
 
-std::vector<NodeId> HyParView::backup_view() const { return passive_; }
+std::span<const NodeId> HyParView::backup_view() const { return passive_; }
 
 bool HyParView::in_active(const NodeId& node) const {
   return std::find(active_.begin(), active_.end(), node) != active_.end();

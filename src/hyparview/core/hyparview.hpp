@@ -82,12 +82,13 @@ class HyParView final : public membership::Protocol {
   void on_link_closed(const NodeId& peer) override;
   void on_cycle() override;
   void leave() override;
-  [[nodiscard]] std::vector<NodeId> broadcast_targets(
-      std::size_t fanout, const NodeId& from) override;
+  using membership::Protocol::broadcast_targets;
+  void broadcast_targets(std::size_t fanout, const NodeId& from,
+                         std::vector<NodeId>& out) override;
   void peer_unreachable(const NodeId& peer) override;
   void on_traffic(const NodeId& from) override;
-  [[nodiscard]] std::vector<NodeId> dissemination_view() const override;
-  [[nodiscard]] std::vector<NodeId> backup_view() const override;
+  [[nodiscard]] std::span<const NodeId> dissemination_view() const override;
+  [[nodiscard]] std::span<const NodeId> backup_view() const override;
   [[nodiscard]] const char* name() const override { return "hyparview"; }
 
   // --- Introspection ---------------------------------------------------------

@@ -46,11 +46,10 @@ void GossipEngine::handle_gossip(const NodeId& from, const wire::Gossip& msg) {
 void GossipEngine::forward(const wire::Gossip& msg, const NodeId& exclude) {
   const std::size_t fanout =
       config_.mode == Mode::kFlood ? 0 : config_.fanout;
-  const std::vector<NodeId> targets =
-      protocol_.broadcast_targets(fanout, exclude);
+  protocol_.broadcast_targets(fanout, exclude, targets_scratch_);
   wire::Gossip next = msg;
   next.hops = static_cast<std::uint16_t>(msg.hops + 1);
-  for (const NodeId& t : targets) {
+  for (const NodeId& t : targets_scratch_) {
     ++forwarded_;
     env_.send(t, next);
   }

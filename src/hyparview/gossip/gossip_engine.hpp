@@ -107,6 +107,14 @@ class GossipEngine {
 
   std::unordered_set<std::uint64_t> seen_;
   std::deque<std::uint64_t> seen_order_;
+  /// Reused target buffer for forward()'s send loop. Invariant: nothing
+  /// reachable from env_.send() may touch targets_scratch_ or re-enter
+  /// forward(). Deliveries are asynchronous on both backends, but
+  /// TcpTransport::send can invoke send_failed *synchronously* on a dial
+  /// failure — on_send_failed is safe because it never calls forward() and
+  /// its reroute path uses the allocating broadcast_targets overload. Keep
+  /// it that way.
+  std::vector<NodeId> targets_scratch_;
   std::uint64_t duplicates_ = 0;
   std::uint64_t forwarded_ = 0;
 };

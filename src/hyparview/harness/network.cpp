@@ -361,6 +361,7 @@ HealingResult run_healing_experiment(const NetworkConfig& netcfg,
     }
   }
   if (!result.recovered) result.cycles_to_heal = cfg.max_cycles;
+  result.events_processed = net.simulator().events_processed();
   return result;
 }
 

@@ -190,6 +190,7 @@ struct HealingResult {
   std::vector<double> per_cycle_reliability;
   std::size_t cycles_to_heal = 0;  ///< == per_cycle size if recovered
   bool recovered = false;
+  std::uint64_t events_processed = 0;  ///< simulator events (perf accounting)
 };
 
 struct HealingConfig {

@@ -17,14 +17,20 @@
 //    rounds exactly like the paper does.
 #pragma once
 
-#include <functional>
-
+#include "hyparview/common/function.hpp"
 #include "hyparview/common/node_id.hpp"
 #include "hyparview/common/rng.hpp"
 #include "hyparview/common/time.hpp"
 #include "hyparview/membership/wire.hpp"
 
 namespace hyparview::membership {
+
+/// Completion callback of Env::connect. Allocation-free: captures must fit
+/// the inline buffer (a this-pointer plus a NodeId or two is typical).
+using ConnectCallback = InplaceFunction<void(bool)>;
+
+/// One-shot task for Env::schedule. Same allocation-free contract.
+using TaskCallback = InplaceFunction<void()>;
 
 class Env {
  public:
@@ -45,13 +51,13 @@ class Env {
   /// Attempts to establish a link to `to`; `cb(true)` once connected,
   /// `cb(false)` if the peer is unreachable. The callback fires
   /// asynchronously, after this call returns.
-  virtual void connect(const NodeId& to, std::function<void(bool)> cb) = 0;
+  virtual void connect(const NodeId& to, ConnectCallback cb) = 0;
 
   /// Closes the link to `to`, if any. No failure is reported to either side.
   virtual void disconnect(const NodeId& to) = 0;
 
   /// Runs `fn` after `delay`. One-shot.
-  virtual void schedule(Duration delay, std::function<void()> fn) = 0;
+  virtual void schedule(Duration delay, TaskCallback fn) = 0;
 };
 
 }  // namespace hyparview::membership

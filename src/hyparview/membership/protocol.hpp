@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hyparview/common/node_id.hpp"
@@ -43,13 +44,23 @@ class Protocol {
   virtual void leave() {}
 
   /// Targets for (re)broadcasting a gossip message received from `from`
-  /// (kNoNode when this node is the broadcast source).
+  /// (kNoNode when this node is the broadcast source). Fills `out`
+  /// (clearing it first) so the per-message hot loop can reuse one buffer
+  /// instead of allocating a vector per node per broadcast.
   ///
   /// HyParView floods: returns the whole active view except `from`
   /// (`fanout` is ignored — the active view *is* sized fanout+1).
   /// Cyclon/Scamp: `fanout` uniformly random view members except `from`.
-  [[nodiscard]] virtual std::vector<NodeId> broadcast_targets(
-      std::size_t fanout, const NodeId& from) = 0;
+  virtual void broadcast_targets(std::size_t fanout, const NodeId& from,
+                                 std::vector<NodeId>& out) = 0;
+
+  /// Allocating convenience overload (tests, one-off probes).
+  [[nodiscard]] std::vector<NodeId> broadcast_targets(std::size_t fanout,
+                                                      const NodeId& from) {
+    std::vector<NodeId> out;
+    broadcast_targets(fanout, from, out);
+    return out;
+  }
 
   /// The gossip layer detected that `peer` is unreachable while
   /// disseminating (ack/TCP failure). Protocols with reactive failure
@@ -70,12 +81,16 @@ class Protocol {
   // --- Introspection (analysis, tests, debugging) ---------------------------
 
   /// The view used to select dissemination targets (active view for
-  /// HyParView, the partial view for Cyclon/Scamp).
-  [[nodiscard]] virtual std::vector<NodeId> dissemination_view() const = 0;
+  /// HyParView, the partial view for Cyclon/Scamp). Zero-copy: the span
+  /// aliases protocol-internal (or per-instance cached) storage and is
+  /// valid only until the protocol next processes an event or this method
+  /// is called again on the same instance.
+  [[nodiscard]] virtual std::span<const NodeId> dissemination_view() const = 0;
 
   /// Backup knowledge (HyParView passive view, Scamp InView; empty for
-  /// Cyclon which has a single view).
-  [[nodiscard]] virtual std::vector<NodeId> backup_view() const = 0;
+  /// Cyclon which has a single view). Same lifetime rules as
+  /// dissemination_view().
+  [[nodiscard]] virtual std::span<const NodeId> backup_view() const = 0;
 
   /// Protocol name for reports.
   [[nodiscard]] virtual const char* name() const = 0;

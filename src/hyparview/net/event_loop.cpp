@@ -151,7 +151,7 @@ void EventLoop::post(std::function<void()> fn) {
       ::write(wake_fd_.get(), &one, sizeof(one));
 }
 
-std::uint64_t EventLoop::schedule(Duration delay, std::function<void()> fn) {
+std::uint64_t EventLoop::schedule(Duration delay, TimerTask fn) {
   HPV_CHECK(delay >= 0);
   Timer timer;
   timer.deadline = now() + delay;

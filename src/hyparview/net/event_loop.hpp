@@ -12,11 +12,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hyparview/common/function.hpp"
 #include "hyparview/common/time.hpp"
 #include "hyparview/net/fd.hpp"
 #include "hyparview/sim/min_heap.hpp"
 
 namespace hyparview::net {
+
+/// Timer callback storage. Allocation-free like membership::TaskCallback but
+/// with headroom to absorb a wrapped ConnectCallback (TcpTransport defers
+/// connect completions through 0-delay timers).
+using TimerTask = InplaceFunction<void(), 96>;
 
 /// Callbacks for a registered file descriptor.
 class IoHandler {
@@ -51,7 +57,7 @@ class EventLoop {
   void post(std::function<void()> fn);
 
   /// Loop thread only: one-shot timer. Returns an id usable with cancel().
-  std::uint64_t schedule(Duration delay, std::function<void()> fn);
+  std::uint64_t schedule(Duration delay, TimerTask fn);
   void cancel(std::uint64_t timer_id);
 
   /// Loop thread only.
@@ -69,7 +75,7 @@ class EventLoop {
   struct Timer {
     TimePoint deadline = 0;
     std::uint64_t id = 0;
-    std::function<void()> fn;
+    TimerTask fn;
   };
   struct TimerLess {
     bool operator()(const Timer& a, const Timer& b) const {

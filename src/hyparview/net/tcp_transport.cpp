@@ -149,7 +149,7 @@ class TcpTransport::Connection final : public IoHandler {
   [[nodiscard]] bool identified() const { return peer_ != kNoNode; }
   [[nodiscard]] bool inbound() const { return inbound_; }
 
-  void add_connect_callback(std::function<void(bool)> cb) {
+  void add_connect_callback(membership::ConnectCallback cb) {
     connect_callbacks_.push_back(std::move(cb));
   }
 
@@ -406,7 +406,7 @@ class TcpTransport::Connection final : public IoHandler {
   bool draining_ = false;
   std::deque<Pending> pending_;
   std::vector<std::uint8_t> read_buf_;
-  std::vector<std::function<void(bool)>> connect_callbacks_;
+  std::vector<membership::ConnectCallback> connect_callbacks_;
   /// Guards deferred timers against the connection being deleted first.
   std::shared_ptr<bool> alive_flag_ = std::make_shared<bool>(true);
 
@@ -502,16 +502,16 @@ void TcpTransport::send(const NodeId& to, wire::Message msg) {
   conn->send_message(msg);
 }
 
-void TcpTransport::connect(const NodeId& to, std::function<void(bool)> cb) {
+void TcpTransport::connect(const NodeId& to, membership::ConnectCallback cb) {
   if (shutdown_) return;
   Connection* conn = find_connection(to);
   if (conn == nullptr) conn = dial(to);
   if (conn == nullptr) {
-    loop_.schedule(0, [cb = std::move(cb)] { cb(false); });
+    loop_.schedule(0, [cb = std::move(cb)]() mutable { cb(false); });
     return;
   }
   if (conn->state() == Connection::State::kEstablished) {
-    loop_.schedule(0, [cb = std::move(cb)] { cb(true); });
+    loop_.schedule(0, [cb = std::move(cb)]() mutable { cb(true); });
     return;
   }
   conn->add_connect_callback(std::move(cb));
@@ -524,7 +524,7 @@ void TcpTransport::disconnect(const NodeId& to) {
   conn->close_graceful();
 }
 
-void TcpTransport::schedule(Duration delay, std::function<void()> fn) {
+void TcpTransport::schedule(Duration delay, membership::TaskCallback fn) {
   loop_.schedule(delay, std::move(fn));
 }
 

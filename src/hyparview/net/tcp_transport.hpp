@@ -67,9 +67,9 @@ class TcpTransport final : public membership::Env {
   [[nodiscard]] TimePoint now() const override { return loop_.now(); }
   [[nodiscard]] Rng& rng() override { return rng_; }
   void send(const NodeId& to, wire::Message msg) override;
-  void connect(const NodeId& to, std::function<void(bool)> cb) override;
+  void connect(const NodeId& to, membership::ConnectCallback cb) override;
   void disconnect(const NodeId& to) override;
-  void schedule(Duration delay, std::function<void()> fn) override;
+  void schedule(Duration delay, membership::TaskCallback fn) override;
 
  private:
   class Listener;

@@ -26,7 +26,7 @@ class SimEnv final : public membership::Env {
     sim_->do_send(index_, to.ip, std::move(msg));
   }
 
-  void connect(const NodeId& to, std::function<void(bool)> cb) override {
+  void connect(const NodeId& to, membership::ConnectCallback cb) override {
     sim_->do_connect(index_, to.ip, std::move(cb));
   }
 
@@ -34,7 +34,7 @@ class SimEnv final : public membership::Env {
     sim_->do_disconnect(index_, to.ip);
   }
 
-  void schedule(Duration delay, std::function<void()> fn) override {
+  void schedule(Duration delay, membership::TaskCallback fn) override {
     sim_->do_schedule(index_, delay, std::move(fn));
   }
 
@@ -52,6 +52,12 @@ Simulator::Simulator(SimConfig config)
       bytes_by_type_(std::variant_size_v<wire::Message>, 0) {
   HPV_CHECK(config_.latency_min >= 0 &&
             config_.latency_max >= config_.latency_min);
+  // Pre-size the hot containers once: after warm-up, pushing an event is a
+  // POD store plus sift, never a reallocation.
+  queue_.reserve(config_.initial_event_capacity);
+  messages_.reserve(config_.initial_event_capacity);
+  tasks_.reserve(64);
+  connects_.reserve(64);
 }
 
 Simulator::~Simulator() = default;
@@ -99,7 +105,7 @@ void Simulator::crash(const NodeId& id) {
       ev.node = link.peer;
       ev.peer = id.ip;
       ev.link_gen = peer_side->gen;
-      push_event(std::move(ev));
+      push_event(ev);
     }
     node.links.clear();
   }
@@ -130,8 +136,8 @@ void Simulator::unblock(const NodeId& id) {
     ev.at = now_ + delay;
     ev.node = id.ip;
     ev.peer = queued.from;
-    ev.msg = std::move(queued.msg);
-    push_event(std::move(ev));
+    if (!queued.is_close) ev.payload = messages_.put(std::move(queued.msg));
+    push_event(ev);
   }
 }
 
@@ -155,7 +161,7 @@ bool Simulator::drop_link(const NodeId& a, const NodeId& b) {
     ev.node = owner;
     ev.peer = other;
     ev.link_gen = side->gen;
-    push_event(std::move(ev));
+    push_event(ev);
     scheduled = true;
   }
   return scheduled;
@@ -186,6 +192,12 @@ std::size_t Simulator::drop_random_links(double fraction) {
   return dropped;
 }
 
+void Simulator::set_latency(Duration min, Duration max) {
+  HPV_CHECK(min >= 0 && max >= min);
+  config_.latency_min = min;
+  config_.latency_max = max;
+}
+
 membership::Env& Simulator::env(const NodeId& id) {
   HPV_CHECK(id.ip < nodes_.size());
   return *nodes_[id.ip].env;
@@ -205,6 +217,7 @@ bool Simulator::step() {
   Event ev = queue_.pop();
   HPV_ASSERT(ev.at >= now_);
   now_ = ev.at;
+  ++events_processed_;
   dispatch(ev);
   return true;
 }
@@ -235,15 +248,13 @@ void Simulator::do_send(std::uint32_t from, std::uint32_t to,
   // Dead nodes initiate nothing; blocked nodes are frozen applications.
   if (!nodes_[from].alive || nodes_[from].blocked) return;
   ++sent_total_;
-  ++sent_by_type_[wire::type_tag(msg)];
+  const std::uint8_t tag = wire::type_tag(msg);
+  ++sent_by_type_[tag];
   const std::uint64_t cost = wire::wire_cost(msg);
   bytes_total_ += cost;
-  bytes_by_type_[wire::type_tag(msg)] += cost;
+  bytes_by_type_[tag] += cost;
 
   Event ev;
-  ev.node = to;
-  ev.peer = from;
-  ev.msg = std::move(msg);
   if (!nodes_[to].alive) {
     // TCP write against a crashed peer: fails back to the sender after the
     // detection delay. The link, if any, is torn down.
@@ -252,22 +263,30 @@ void Simulator::do_send(std::uint32_t from, std::uint32_t to,
     ev.at = now_ + config_.failure_detect_delay;
     ev.node = from;
     ev.peer = to;
-    push_event(std::move(ev));
+    ev.payload = messages_.put(std::move(msg));
+    push_event(ev);
     return;
   }
   // Implicit connection establishment, as with a TCP dial-on-demand cache.
-  if (!link_has(nodes_[from].links, to)) {
-    link_add(nodes_[from].links, to);
+  Link* link = link_find(nodes_[from].links, to);
+  if (link == nullptr) {
+    link = &link_add(nodes_[from].links, to);
+    // Safe to keep the reference: for from != to this touches a different
+    // node's vector, and for a (degenerate) self-send it finds the entry
+    // just added instead of growing the vector.
     link_add(nodes_[to].links, from);
     ++connections_opened_;
   }
   ev.kind = EventKind::kDeliver;
-  ev.at = arrival_time(from, to);
-  push_event(std::move(ev));
+  ev.at = arrival_time(*link);
+  ev.node = to;
+  ev.peer = from;
+  ev.payload = messages_.put(std::move(msg));
+  push_event(ev);
 }
 
 void Simulator::do_connect(std::uint32_t from, std::uint32_t to,
-                           std::function<void(bool)> cb) {
+                           membership::ConnectCallback cb) {
   HPV_CHECK(to < nodes_.size());
   if (!nodes_[from].alive) return;
   Event ev;
@@ -276,45 +295,50 @@ void Simulator::do_connect(std::uint32_t from, std::uint32_t to,
                                    : config_.failure_detect_delay);
   ev.node = from;
   ev.peer = to;
-  ev.connect_cb = std::move(cb);
-  push_event(std::move(ev));
+  ev.payload = connects_.put(std::move(cb));
+  push_event(ev);
 }
 
 void Simulator::do_disconnect(std::uint32_t from, std::uint32_t to) {
   HPV_CHECK(to < nodes_.size());
-  link_remove(nodes_[from].links, to);
   // TCP semantics: the remote side observes our FIN *after* any in-flight
-  // data (the FIFO arrival clamp guarantees that ordering). If the remote
-  // closes its own side first — e.g. because a DISCONNECT message told it
-  // to — or the pair reconnects meanwhile (new generation), the
-  // notification is suppressed at dispatch.
+  // data on this connection (clamped to the link's last scheduled arrival).
+  // If the remote closes its own side first — e.g. because a DISCONNECT
+  // message told it to — or the pair reconnects meanwhile (new generation),
+  // the notification is suppressed at dispatch.
   const Link* remote_side =
       nodes_[to].alive ? link_find(nodes_[to].links, from) : nullptr;
   if (remote_side != nullptr) {
+    TimePoint fin_at = now_ + draw_latency();
+    if (const Link* mine = link_find(nodes_[from].links, to);
+        mine != nullptr && mine->last_arrival > fin_at) {
+      fin_at = mine->last_arrival;
+    }
     Event ev;
-    ev.at = arrival_time(from, to) + config_.failure_detect_delay;
+    ev.at = fin_at + config_.failure_detect_delay;
     ev.kind = EventKind::kLinkClosed;
     ev.node = to;
     ev.peer = from;
     ev.link_gen = remote_side->gen;
-    push_event(std::move(ev));
+    push_event(ev);
   }
+  link_remove(nodes_[from].links, to);
 }
 
 void Simulator::do_schedule(std::uint32_t node, Duration delay,
-                            std::function<void()> fn) {
+                            membership::TaskCallback fn) {
   HPV_CHECK(delay >= 0);
   Event ev;
   ev.kind = EventKind::kTask;
   ev.at = now_ + delay;
   ev.node = node;
-  ev.task = std::move(fn);
-  push_event(std::move(ev));
+  ev.payload = tasks_.put(std::move(fn));
+  push_event(ev);
 }
 
 void Simulator::push_event(Event ev) {
   ev.seq = next_seq_++;
-  queue_.push(std::move(ev));
+  queue_.push(ev);
 }
 
 void Simulator::dispatch(Event& ev) {
@@ -323,7 +347,8 @@ void Simulator::dispatch(Event& ev) {
     case EventKind::kDeliver: {
       if (!node.alive) {
         // Target crashed while the message was in flight: the sender's TCP
-        // stack notices (RST / timeout) and reports the failure.
+        // stack notices (RST / timeout) and reports the failure. The
+        // payload slot transfers to the failure event untouched.
         if (nodes_[ev.peer].alive) {
           link_remove(nodes_[ev.peer].links, ev.node);
           link_remove(node.links, ev.peer);
@@ -332,8 +357,10 @@ void Simulator::dispatch(Event& ev) {
           fail.at = now_ + config_.failure_detect_delay;
           fail.node = ev.peer;
           fail.peer = ev.node;
-          fail.msg = std::move(ev.msg);
-          push_event(std::move(fail));
+          fail.payload = ev.payload;
+          push_event(fail);
+        } else {
+          messages_.release(ev.payload);
         }
         return;
       }
@@ -345,8 +372,11 @@ void Simulator::dispatch(Event& ev) {
           if (queued.from == ev.peer && !queued.is_close) ++from_sender;
         }
         if (from_sender < config_.link_send_buffer) {
-          node.inbox.push_back(
-              QueuedMessage{ev.peer, std::move(ev.msg), /*is_close=*/false});
+          if (node.inbox.capacity() == 0) {
+            node.inbox.reserve(config_.link_send_buffer);
+          }
+          node.inbox.push_back(QueuedMessage{
+              ev.peer, messages_.take(ev.payload), /*is_close=*/false});
           return;
         }
         if (nodes_[ev.peer].alive) {
@@ -357,26 +387,34 @@ void Simulator::dispatch(Event& ev) {
           fail.at = now_ + config_.failure_detect_delay;
           fail.node = ev.peer;
           fail.peer = ev.node;
-          fail.msg = std::move(ev.msg);
-          push_event(std::move(fail));
+          fail.payload = ev.payload;
+          push_event(fail);
+        } else {
+          messages_.release(ev.payload);
         }
         return;
       }
       ++delivered_total_;
+      // Move the payload out before the upcall: the handler's own sends may
+      // grow the slab, and the recycled slot must not alias the message the
+      // handler is still reading.
+      wire::Message msg = messages_.take(ev.payload);
       if (node.handler != nullptr) {
-        node.handler->deliver(NodeId::from_index(ev.peer), ev.msg);
+        node.handler->deliver(NodeId::from_index(ev.peer), msg);
       }
       return;
     }
     case EventKind::kSendFailed: {
       ++send_failures_;
+      wire::Message msg = messages_.take(ev.payload);
       if (!node.alive) return;
       if (node.handler != nullptr) {
-        node.handler->send_failed(NodeId::from_index(ev.peer), ev.msg);
+        node.handler->send_failed(NodeId::from_index(ev.peer), msg);
       }
       return;
     }
     case EventKind::kConnectResult: {
+      membership::ConnectCallback cb = connects_.take(ev.payload);
       if (!node.alive) return;
       const bool ok = nodes_[ev.peer].alive;
       if (ok && !link_has(node.links, ev.peer)) {
@@ -384,14 +422,15 @@ void Simulator::dispatch(Event& ev) {
         link_add(nodes_[ev.peer].links, ev.node);
         ++connections_opened_;
       }
-      if (ev.connect_cb) ev.connect_cb(ok);
+      if (cb) cb(ok);
       return;
     }
     case EventKind::kTask: {
+      membership::TaskCallback task = tasks_.take(ev.payload);
       // Frozen applications miss their timers (they fire into a stuck
       // process); dead ones are gone.
       if (!node.alive || node.blocked) return;
-      if (ev.task) ev.task();
+      if (task) task();
       return;
     }
     case EventKind::kLinkClosed: {
@@ -424,17 +463,21 @@ Duration Simulator::draw_latency() {
              config_.latency_max - config_.latency_min + 1)));
 }
 
-TimePoint Simulator::arrival_time(std::uint32_t from, std::uint32_t to) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+TimePoint Simulator::arrival_time(Link& link) {
   TimePoint at = now_ + draw_latency();
-  const auto it = last_arrival_.find(key);
-  if (it != last_arrival_.end() && it->second > at) at = it->second;
-  last_arrival_[key] = at;
+  if (link.last_arrival > at) at = link.last_arrival;
+  link.last_arrival = at;
   return at;
 }
 
-void Simulator::link_add(std::vector<Link>& links, std::uint32_t peer) {
-  if (!link_has(links, peer)) links.push_back(Link{peer, next_link_gen_++});
+Simulator::Link& Simulator::link_add(std::vector<Link>& links,
+                                     std::uint32_t peer) {
+  if (Link* existing = link_find(links, peer); existing != nullptr) {
+    return *existing;
+  }
+  if (links.capacity() == 0) links.reserve(8);
+  links.push_back(Link{peer, next_link_gen_++, /*last_arrival=*/0});
+  return links.back();
 }
 
 void Simulator::link_remove(std::vector<Link>& links, std::uint32_t peer) {
@@ -445,6 +488,14 @@ void Simulator::link_remove(std::vector<Link>& links, std::uint32_t peer) {
     *it = links.back();
     links.pop_back();
   }
+}
+
+Simulator::Link* Simulator::link_find(std::vector<Link>& links,
+                                      std::uint32_t peer) {
+  const auto it =
+      std::find_if(links.begin(), links.end(),
+                   [&](const Link& l) { return l.peer == peer; });
+  return it == links.end() ? nullptr : &*it;
 }
 
 const Simulator::Link* Simulator::link_find(const std::vector<Link>& links,

@@ -19,9 +19,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
 #include "hyparview/common/node_id.hpp"
@@ -31,6 +30,7 @@
 #include "hyparview/membership/env.hpp"
 #include "hyparview/membership/wire.hpp"
 #include "hyparview/sim/min_heap.hpp"
+#include "hyparview/sim/slot_pool.hpp"
 
 namespace hyparview::sim {
 
@@ -52,6 +52,9 @@ struct SimConfig {
   /// Abort the run if a single run_until_quiescent() exceeds this many
   /// events (guards against accidental self-sustaining event loops).
   std::uint64_t max_events_per_drain = 2'000'000'000ull;
+  /// Events (and payload slots) pre-reserved at construction so steady-state
+  /// runs never grow the queue or the payload slabs.
+  std::size_t initial_event_capacity = 4096;
 };
 
 /// Per-node upcall interface; implemented by gossip::NodeRuntime.
@@ -104,6 +107,16 @@ class Simulator {
   std::size_t drop_random_links(double fraction);
 
   [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Changes the one-way latency band for subsequently scheduled messages
+  /// (latency-spike fault injection). In-flight messages keep the latency
+  /// they were scheduled with.
+  void set_latency(Duration min, Duration max);
+
+  /// Total events dispatched since construction (perf accounting).
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
 
   /// Harness-level random stream (failure selection, source selection...).
   [[nodiscard]] Rng& rng() { return master_rng_; }
@@ -160,21 +173,26 @@ class Simulator {
     kLinkClosed,
   };
 
+  /// 40-byte POD: the MinHeap sifts only this. Fat payloads (wire messages,
+  /// callbacks) live in the slot pools below, addressed by `payload`, so
+  /// pushing and sifting an event never allocates or runs a move ctor.
   struct Event {
     TimePoint at = 0;
     std::uint64_t seq = 0;
-    EventKind kind = EventKind::kTask;
-    std::uint32_t node = 0;  ///< event target node index
-    std::uint32_t peer = 0;  ///< other endpoint where applicable
-    bool ok = false;
     /// For kLinkClosed: the generation of the link instance being closed,
     /// so a stale FIN cannot tear down a newer connection between the same
     /// pair (TCP connections have identity).
     std::uint64_t link_gen = 0;
-    wire::Message msg;
-    std::function<void()> task;
-    std::function<void(bool)> connect_cb;
+    std::uint32_t node = 0;  ///< event target node index
+    std::uint32_t peer = 0;  ///< other endpoint where applicable
+    /// Slot index into the pool selected by `kind` (kDeliver/kSendFailed →
+    /// message pool, kTask → task pool, kConnectResult → connect pool);
+    /// kNoSlot when the event carries no payload.
+    std::uint32_t payload = kNoSlot;
+    EventKind kind = EventKind::kTask;
+    bool ok = false;  ///< kLinkClosed: forced replay from a drained inbox
   };
+  static_assert(std::is_trivially_copyable_v<Event>);
 
   struct EventLess {
     bool operator()(const Event& a, const Event& b) const {
@@ -193,6 +211,16 @@ class Simulator {
   struct Link {
     std::uint32_t peer = 0;
     std::uint64_t gen = 0;  ///< connection-instance identity
+    /// Latest scheduled arrival of traffic this node sent over this link
+    /// (FIFO clamp: TCP stream order *per connection instance*). Lives here
+    /// instead of a global hash map so the per-send lookup is the same
+    /// cache line the send already touched for the link check. Ordering is
+    /// deliberately NOT guaranteed across a teardown + re-establishment —
+    /// real TCP gives no cross-connection ordering either, and the
+    /// protocols handle such races explicitly (HyParView's asymmetry
+    /// healing); in-flight data of a torn-down link still delivers, as it
+    /// always has in this simulator.
+    TimePoint last_arrival = 0;
   };
 
   struct SimNode {
@@ -206,20 +234,22 @@ class Simulator {
 
   void do_send(std::uint32_t from, std::uint32_t to, wire::Message msg);
   void do_connect(std::uint32_t from, std::uint32_t to,
-                  std::function<void(bool)> cb);
+                  membership::ConnectCallback cb);
   void do_disconnect(std::uint32_t from, std::uint32_t to);
   void do_schedule(std::uint32_t node, Duration delay,
-                   std::function<void()> fn);
+                   membership::TaskCallback fn);
 
   void push_event(Event ev);
   void dispatch(Event& ev);
   Duration draw_latency();
 
-  /// Delivery time respecting per-directed-link FIFO (TCP stream order).
-  TimePoint arrival_time(std::uint32_t from, std::uint32_t to);
+  /// Delivery time respecting per-link FIFO (TCP stream order): clamps to
+  /// the link's last scheduled arrival and advances it.
+  TimePoint arrival_time(Link& link);
 
-  void link_add(std::vector<Link>& links, std::uint32_t peer);
+  Link& link_add(std::vector<Link>& links, std::uint32_t peer);
   static void link_remove(std::vector<Link>& links, std::uint32_t peer);
+  static Link* link_find(std::vector<Link>& links, std::uint32_t peer);
   static const Link* link_find(const std::vector<Link>& links,
                                std::uint32_t peer);
   static bool link_has(const std::vector<Link>& links, std::uint32_t peer);
@@ -229,12 +259,16 @@ class Simulator {
   Rng latency_rng_;
   std::vector<SimNode> nodes_;
   MinHeap<Event, EventLess> queue_;
+  /// Payload slabs, free-list recycled (see slot_pool.hpp). One per payload
+  /// kind so slots are homogeneous and reuse is exact.
+  SlotPool<wire::Message> messages_;
+  SlotPool<membership::TaskCallback> tasks_;
+  SlotPool<membership::ConnectCallback> connects_;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_link_gen_ = 1;
   std::size_t alive_count_ = 0;
-  /// Last scheduled arrival per directed pair (raw key from<<32|to).
-  std::unordered_map<std::uint64_t, TimePoint> last_arrival_;
+  std::uint64_t events_processed_ = 0;
 
   std::uint64_t sent_total_ = 0;
   std::uint64_t delivered_total_ = 0;

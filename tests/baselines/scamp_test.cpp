@@ -16,7 +16,7 @@ using test::FakeEnv;
 
 NodeId nid(std::uint32_t i) { return NodeId::from_index(i); }
 
-bool contains(const std::vector<NodeId>& v, const NodeId& id) {
+bool contains(std::span<const NodeId> v, const NodeId& id) {
   return std::find(v.begin(), v.end(), id) != v.end();
 }
 
@@ -143,7 +143,9 @@ TEST_F(ScampUnitTest, InViewNotifyTracked) {
   proto_.handle(nid(5), wire::ScampInViewNotify{});  // idempotent
   ASSERT_EQ(proto_.in_view().size(), 1u);
   EXPECT_EQ(proto_.in_view()[0], nid(5));
-  EXPECT_EQ(proto_.backup_view(), proto_.in_view());
+  const auto backup = proto_.backup_view();
+  EXPECT_TRUE(std::equal(backup.begin(), backup.end(),
+                         proto_.in_view().begin(), proto_.in_view().end()));
 }
 
 TEST_F(ScampUnitTest, ReplaceSwapsPartialViewEntry) {

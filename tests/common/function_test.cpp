@@ -1,0 +1,130 @@
+#include "hyparview/common/function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace hyparview {
+namespace {
+
+TEST(InplaceFunctionTest, DefaultConstructedIsEmpty) {
+  InplaceFunction<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  InplaceFunction<void()> null_fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InplaceFunctionTest, InvokesLambdaWithCaptures) {
+  int calls = 0;
+  InplaceFunction<void()> fn = [&calls] { ++calls; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFunctionTest, ForwardsArgumentsAndReturnsValues) {
+  InplaceFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  InplaceFunction<bool(bool)> negate = [](bool v) { return !v; };
+  EXPECT_TRUE(negate(false));
+}
+
+TEST(InplaceFunctionTest, MoveTransfersStateAndEmptiesSource) {
+  int calls = 0;
+  InplaceFunction<void()> a = [&calls] { ++calls; };
+  InplaceFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InplaceFunctionTest, MoveAssignmentDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  InplaceFunction<void()> holder = [token] { (void)*token; };
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside the wrapper
+  holder = [] {};
+  EXPECT_TRUE(watch.expired());  // old capture destroyed on assignment
+}
+
+TEST(InplaceFunctionTest, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InplaceFunction<void()> holder = [token] { (void)*token; };
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InplaceFunctionTest, MoveOnlyCapturesSupported) {
+  auto ptr = std::make_unique<int>(99);
+  InplaceFunction<int()> fn = [p = std::move(ptr)] { return *p; };
+  EXPECT_EQ(fn(), 99);
+}
+
+TEST(InplaceFunctionTest, ResetAndNullAssignmentEmpty) {
+  InplaceFunction<void()> fn = [] {};
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [] {};
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InplaceFunctionTest, WideningMoveAcrossCapacities) {
+  int calls = 0;
+  InplaceFunction<void(), 32> small = [&calls] { ++calls; };
+  InplaceFunction<void(), 96> big = std::move(small);
+  EXPECT_FALSE(static_cast<bool>(small));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(big));
+  big();
+  EXPECT_EQ(calls, 1);
+
+  InplaceFunction<void(), 32> empty_small;
+  InplaceFunction<void(), 96> empty_big = std::move(empty_small);
+  EXPECT_FALSE(static_cast<bool>(empty_big));
+}
+
+TEST(InplaceFunctionTest, CapacityBoundaryCaptureFits) {
+  // Exactly-at-capacity capture must compile and run (the static_assert
+  // gate is sizeof <= Capacity).
+  struct Big {
+    char data[48];
+  };
+  Big big{};
+  big.data[0] = 'x';
+  InplaceFunction<char(), 48> fn = [big] { return big.data[0]; };
+  EXPECT_EQ(fn(), 'x');
+}
+
+TEST(InplaceFunctionTest, SelfMoveAssignmentIsSafe) {
+  int calls = 0;
+  InplaceFunction<void()> fn = [&calls] { ++calls; };
+  auto& ref = fn;
+  fn = std::move(ref);
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InplaceFunctionTest, StressMoveChainKeepsCallable) {
+  // Heap-shaped usage: the simulator's pools move callbacks repeatedly.
+  int total = 0;
+  InplaceFunction<void()> fn = [&total] { ++total; };
+  for (int i = 0; i < 100; ++i) {
+    InplaceFunction<void()> tmp = std::move(fn);
+    fn = std::move(tmp);
+  }
+  fn();
+  EXPECT_EQ(total, 1);
+}
+
+}  // namespace
+}  // namespace hyparview

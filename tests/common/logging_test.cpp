@@ -1,0 +1,66 @@
+#include "hyparview/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyparview {
+namespace {
+
+/// Restores the global level after each test (it is process-wide state).
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : saved_(log_level()) {}
+  ~LoggingTest() override { set_log_level(saved_); }
+
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, SetLevelOverridesAndSticks) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, EnabledIsMonotoneInSeverity) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+}
+
+TEST_F(LoggingTest, ErrorLevelSuppressesEverythingElse) {
+  set_log_level(LogLevel::kError);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+}
+
+TEST_F(LoggingTest, TraceLevelEnablesEverything) {
+  set_log_level(LogLevel::kTrace);
+  for (const auto level : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                           LogLevel::kDebug, LogLevel::kTrace}) {
+    EXPECT_TRUE(log_enabled(level));
+  }
+}
+
+TEST_F(LoggingTest, MacroCompilesAndRespectsLevel) {
+  set_log_level(LogLevel::kError);
+  // Must not crash and must format printf-style arguments; output goes to
+  // stderr and is not asserted on (the level gate is the contract).
+  HPV_LOG_ERROR("logging test %d %s", 42, "ok");
+  HPV_LOG_TRACE("suppressed %d", 1);
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, LogWriteTruncatesOversizedMessages) {
+  set_log_level(LogLevel::kError);
+  const std::string huge(8192, 'x');
+  // Internal buffer is 1 KiB; vsnprintf must truncate, not overflow.
+  log_write(LogLevel::kError, "%s", huge.c_str());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hyparview

@@ -1,0 +1,46 @@
+#include "hyparview/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hyparview {
+namespace {
+
+TEST(TimeTest, UnitConstructorsScaleToMicroseconds) {
+  EXPECT_EQ(microseconds(0), 0);
+  EXPECT_EQ(microseconds(7), 7);
+  EXPECT_EQ(milliseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(250), 250'000);
+  EXPECT_EQ(seconds(1), 1'000'000);
+  EXPECT_EQ(seconds(60), 60'000'000);
+}
+
+TEST(TimeTest, UnitsCompose) {
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(2) + milliseconds(500), microseconds(2'500'000));
+}
+
+TEST(TimeTest, NegativeDurationsAllowed) {
+  // Durations are signed (deltas, clamps); the constructors must not mangle
+  // negative values.
+  EXPECT_EQ(milliseconds(-3), -3'000);
+  EXPECT_EQ(seconds(-1), -1'000'000);
+}
+
+TEST(TimeTest, ConstexprUsable) {
+  constexpr Duration d = seconds(5);
+  static_assert(d == 5'000'000);
+  EXPECT_EQ(d, 5'000'000);
+}
+
+TEST(TimeTest, LargeValuesDoNotOverflowInt64Range) {
+  // ~292,000 years of microseconds fit in int64; a century must be safe.
+  constexpr Duration century = seconds(100LL * 365 * 24 * 3600);
+  EXPECT_GT(century, 0);
+  EXPECT_LT(century, std::numeric_limits<TimePoint>::max());
+}
+
+}  // namespace
+}  // namespace hyparview

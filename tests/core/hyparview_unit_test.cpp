@@ -13,7 +13,7 @@ using test::FakeEnv;
 
 NodeId nid(std::uint32_t i) { return NodeId::from_index(i); }
 
-bool contains(const std::vector<NodeId>& v, const NodeId& id) {
+bool contains(std::span<const NodeId> v, const NodeId& id) {
   return std::find(v.begin(), v.end(), id) != v.end();
 }
 
@@ -396,8 +396,14 @@ TEST_F(HyParViewUnitTest, StatsCountEvents) {
 
 TEST_F(HyParViewUnitTest, DissemAndBackupViewsMatchAccessors) {
   fill_active();
-  EXPECT_EQ(proto_.dissemination_view(), proto_.active_view());
-  EXPECT_EQ(proto_.backup_view(), proto_.passive_view());
+  const auto dissem = proto_.dissemination_view();
+  EXPECT_TRUE(std::equal(dissem.begin(), dissem.end(),
+                         proto_.active_view().begin(),
+                         proto_.active_view().end()));
+  const auto backup = proto_.backup_view();
+  EXPECT_TRUE(std::equal(backup.begin(), backup.end(),
+                         proto_.passive_view().begin(),
+                         proto_.passive_view().end()));
   EXPECT_STREQ(proto_.name(), "hyparview");
 }
 

@@ -25,14 +25,14 @@ class FakeProtocol final : public membership::Protocol {
   void on_link_closed(const NodeId&) override { ++links_closed; }
   void on_cycle() override {}
 
-  std::vector<NodeId> broadcast_targets(std::size_t fanout,
-                                        const NodeId& from) override {
-    std::vector<NodeId> out;
+  using membership::Protocol::broadcast_targets;
+  void broadcast_targets(std::size_t fanout, const NodeId& from,
+                         std::vector<NodeId>& out) override {
+    out.clear();
     for (const NodeId& t : targets) {
       if (t != from) out.push_back(t);
     }
     if (fanout > 0 && out.size() > fanout) out.resize(fanout);
-    return out;
   }
 
   void peer_unreachable(const NodeId& peer) override {
@@ -41,8 +41,10 @@ class FakeProtocol final : public membership::Protocol {
                   targets.end());
   }
 
-  std::vector<NodeId> dissemination_view() const override { return targets; }
-  std::vector<NodeId> backup_view() const override { return {}; }
+  std::span<const NodeId> dissemination_view() const override {
+    return targets;
+  }
+  std::span<const NodeId> backup_view() const override { return {}; }
   const char* name() const override { return "fake"; }
 
   std::vector<NodeId> targets;

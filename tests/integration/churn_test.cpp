@@ -13,7 +13,7 @@
 namespace hyparview::harness {
 namespace {
 
-bool contains(const std::vector<NodeId>& v, const NodeId& id) {
+bool contains(std::span<const NodeId> v, const NodeId& id) {
   return std::find(v.begin(), v.end(), id) != v.end();
 }
 
@@ -172,7 +172,7 @@ TEST_P(ChurnAllProtocolsTest, ViewInvariantsHoldAfterChurn) {
     const auto view = net.protocol(i).dissemination_view();
     EXPECT_FALSE(contains(view, net.id_of(i)))
         << kind_name(GetParam()) << " self-loop at " << i;
-    auto sorted = view;
+    std::vector<NodeId> sorted(view.begin(), view.end());
     std::sort(sorted.begin(), sorted.end());
     EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
                 sorted.end())

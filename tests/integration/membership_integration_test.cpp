@@ -49,7 +49,7 @@ TEST_P(AllProtocolsTest, NoSelfLoopsOrDuplicatesInViews) {
     EXPECT_TRUE(std::find(view.begin(), view.end(), net.id_of(i)) ==
                 view.end())
         << kind_name(GetParam()) << " self-loop at " << i;
-    auto sorted = view;
+    std::vector<NodeId> sorted(view.begin(), view.end());
     std::sort(sorted.begin(), sorted.end());
     EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
                 sorted.end())

@@ -12,8 +12,11 @@
 //     re-established by the repair + self-healing traffic rules).
 //
 // Scenarios: continuous churn, mass simultaneous failure (10–80%), slow
-// (blocked) nodes, and flaky links (random connection resets via
-// Simulator::drop_random_links). HPV_QUICK=1 shrinks the grid to the
+// (blocked) nodes, flaky links (random connection resets via
+// Simulator::drop_random_links), and latency spikes (the one-way delay
+// band jumps ~100× mid-run via Simulator::set_latency, then recovers —
+// congestion events must delay but never lose traffic). HPV_QUICK=1
+// shrinks the grid to the
 // small-network slice so the `smoke` CTest tier finishes in well under a
 // minute; the full grid runs under the `scenario` label.
 #include <gtest/gtest.h>
@@ -31,10 +34,11 @@ namespace hyparview::harness {
 namespace {
 
 enum class Fault : std::uint8_t {
-  kChurn,        ///< continuous joins + leaves (half graceful, half crash)
-  kMassFailure,  ///< simultaneous crash of `intensity` of the network
-  kSlowNodes,    ///< `intensity` of nodes stop consuming (§5.5)
-  kFlakyLinks,   ///< waves of random connection resets
+  kChurn,         ///< continuous joins + leaves (half graceful, half crash)
+  kMassFailure,   ///< simultaneous crash of `intensity` of the network
+  kSlowNodes,     ///< `intensity` of nodes stop consuming (§5.5)
+  kFlakyLinks,    ///< waves of random connection resets
+  kLatencySpike,  ///< one-way delay inflates ~100× mid-run, then recovers
 };
 
 struct ScenarioCase {
@@ -56,6 +60,7 @@ struct ScenarioCase {
         break;
       case Fault::kSlowNodes: fault_name = "slow"; break;
       case Fault::kFlakyLinks: fault_name = "flaky"; break;
+      case Fault::kLatencySpike: fault_name = "latency"; break;
     }
     return fault_name + "_n" + std::to_string(nodes) + "_s" +
            std::to_string(seed);
@@ -80,6 +85,7 @@ std::vector<ScenarioCase> make_grid() {
       grid.push_back({Fault::kMassFailure, 0.8, n, seed, 0.95});
       grid.push_back({Fault::kSlowNodes, 0.1, n, seed, 0.99});
       grid.push_back({Fault::kFlakyLinks, 0.3, n, seed, 0.99});
+      grid.push_back({Fault::kLatencySpike, 100.0, n, seed, 0.99});
     }
   }
   return grid;
@@ -128,6 +134,20 @@ class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioCase> {
           for (int i = 0; i < 5; ++i) net.broadcast_one();
         }
         break;
+      case Fault::kLatencySpike: {
+        // Delay band jumps by `intensity`× (congestion event): traffic —
+        // broadcasts and a membership round — runs slow but lossless, then
+        // the network recovers. Reliability and symmetry must survive the
+        // spike; TCP links do not break on latency alone.
+        const auto& sim_cfg = net.config().sim;
+        const auto factor = static_cast<std::int64_t>(c.intensity);
+        net.simulator().set_latency(sim_cfg.latency_min * factor,
+                                    sim_cfg.latency_max * factor);
+        for (int i = 0; i < 5; ++i) net.broadcast_one();
+        net.run_cycles(1);
+        net.simulator().set_latency(sim_cfg.latency_min, sim_cfg.latency_max);
+        break;
+      }
     }
     // Healing phase: a burst of traffic exercises the reactive repair path
     // (detect-on-send failure detector), then two membership rounds let the

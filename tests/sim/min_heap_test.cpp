@@ -100,5 +100,71 @@ TEST(MinHeapTest, ClearEmpties) {
   EXPECT_TRUE(heap.empty());
 }
 
+/// Simulator-event-shaped POD: primary key (time) with a sequence-number
+/// tie break, exactly the ordering run_until_quiescent depends on for
+/// deterministic replay.
+struct FakeEvent {
+  std::int64_t at = 0;
+  std::uint64_t seq = 0;
+};
+
+struct FakeEventLess {
+  bool operator()(const FakeEvent& a, const FakeEvent& b) const {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+};
+
+TEST(MinHeapTest, TieBreaksBysequenceNumber) {
+  MinHeap<FakeEvent, FakeEventLess> heap;
+  // Same timestamp pushed out of sequence order; pops must come back in
+  // push (seq) order, which is what makes simultaneous events deterministic.
+  heap.push({5, 3});
+  heap.push({5, 1});
+  heap.push({2, 4});
+  heap.push({5, 2});
+  heap.push({2, 0});
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out;
+  while (!heap.empty()) {
+    const FakeEvent ev = heap.pop();
+    out.emplace_back(ev.at, ev.seq);
+  }
+  const std::vector<std::pair<std::int64_t, std::uint64_t>> expected = {
+      {2, 0}, {2, 4}, {5, 1}, {5, 2}, {5, 3}};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(MinHeapTest, RandomizedTieBreakMatchesStableOrder) {
+  Rng rng(11);
+  MinHeap<FakeEvent, FakeEventLess> heap;
+  std::vector<FakeEvent> reference;
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    const auto at = static_cast<std::int64_t>(rng.below(10));  // many ties
+    heap.push({at, seq});
+    reference.push_back({at, seq});
+  }
+  std::sort(reference.begin(), reference.end(),
+            [](const FakeEvent& a, const FakeEvent& b) {
+              return FakeEventLess{}(a, b);
+            });
+  for (const FakeEvent& want : reference) {
+    const FakeEvent got = heap.pop();
+    EXPECT_EQ(got.at, want.at);
+    EXPECT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(MinHeapTest, ReservePreservesContentsAndOrder) {
+  MinHeap<int, IntLess> heap;
+  heap.push(3);
+  heap.push(1);
+  heap.reserve(1024);
+  heap.push(2);
+  EXPECT_EQ(heap.pop(), 1);
+  EXPECT_EQ(heap.pop(), 2);
+  EXPECT_EQ(heap.pop(), 3);
+}
+
 }  // namespace
 }  // namespace hyparview::sim

@@ -1,0 +1,85 @@
+#include "hyparview/sim/slot_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace hyparview::sim {
+namespace {
+
+TEST(SlotPoolTest, PutReturnsDenseIndices) {
+  SlotPool<int> pool;
+  EXPECT_EQ(pool.put(10), 0u);
+  EXPECT_EQ(pool.put(20), 1u);
+  EXPECT_EQ(pool.put(30), 2u);
+  EXPECT_EQ(pool[0], 10);
+  EXPECT_EQ(pool[2], 30);
+  EXPECT_EQ(pool.in_use(), 3u);
+}
+
+TEST(SlotPoolTest, TakeMovesOutAndRecyclesSlot) {
+  SlotPool<std::string> pool;
+  const auto i = pool.put("hello");
+  EXPECT_EQ(pool.take(i), "hello");
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  // The freed slot is reused before the slab grows.
+  const auto j = pool.put("world");
+  EXPECT_EQ(j, i);
+  EXPECT_EQ(pool.capacity(), 1u);
+}
+
+TEST(SlotPoolTest, ReleaseRecyclesWithoutMoving) {
+  SlotPool<int> pool;
+  const auto i = pool.put(5);
+  pool.release(i);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.put(6), i);
+  EXPECT_EQ(pool[i], 6);
+}
+
+TEST(SlotPoolTest, LifoRecyclingKeepsSlabAtHighWaterMark) {
+  SlotPool<int> pool;
+  // Steady state: one payload in flight at a time → slab stays at size 1.
+  std::uint32_t slot = pool.put(0);
+  for (int round = 1; round < 1000; ++round) {
+    EXPECT_EQ(pool.take(slot), round - 1);
+    slot = pool.put(round);
+  }
+  EXPECT_EQ(pool.capacity(), 1u);
+}
+
+TEST(SlotPoolTest, MoveOnlyPayloads) {
+  SlotPool<std::unique_ptr<int>> pool;
+  const auto i = pool.put(std::make_unique<int>(42));
+  auto out = pool.take(i);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SlotPoolTest, InterleavedPutTake) {
+  SlotPool<int> pool;
+  const auto a = pool.put(1);
+  const auto b = pool.put(2);
+  const auto c = pool.put(3);
+  EXPECT_EQ(pool.take(b), 2);
+  const auto d = pool.put(4);  // reuses b's slot (LIFO free list)
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(pool.take(a), 1);
+  EXPECT_EQ(pool.take(c), 3);
+  EXPECT_EQ(pool.take(d), 4);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.capacity(), 3u);
+}
+
+TEST(SlotPoolTest, ReserveDoesNotChangeLogicalState) {
+  SlotPool<int> pool;
+  pool.reserve(128);
+  EXPECT_EQ(pool.capacity(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.put(1), 0u);
+}
+
+}  // namespace
+}  // namespace hyparview::sim

@@ -2,7 +2,6 @@
 // outgoing action and lets the test complete connects / fire timers by hand.
 #pragma once
 
-#include <functional>
 #include <utility>
 #include <vector>
 
@@ -19,12 +18,12 @@ class FakeEnv final : public membership::Env {
   };
   struct ConnectRequest {
     NodeId to;
-    std::function<void(bool)> cb;
+    membership::ConnectCallback cb;
     bool completed = false;
   };
   struct ScheduledTask {
     Duration delay;
-    std::function<void()> fn;
+    membership::TaskCallback fn;
   };
 
   explicit FakeEnv(NodeId self, std::uint64_t seed = 1)
@@ -38,13 +37,13 @@ class FakeEnv final : public membership::Env {
     sent.push_back({to, std::move(msg)});
   }
 
-  void connect(const NodeId& to, std::function<void(bool)> cb) override {
+  void connect(const NodeId& to, membership::ConnectCallback cb) override {
     connects.push_back({to, std::move(cb), false});
   }
 
   void disconnect(const NodeId& to) override { disconnects.push_back(to); }
 
-  void schedule(Duration delay, std::function<void()> fn) override {
+  void schedule(Duration delay, membership::TaskCallback fn) override {
     tasks.push_back({delay, std::move(fn)});
   }
 
