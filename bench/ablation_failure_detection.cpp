@@ -2,30 +2,13 @@
 //  1. detect-on-send (paper model) vs notify-on-crash,
 //  2. re-routing the in-flight message to a substitute target on failure.
 // Scenario: figure-2 style burst after a 60% / 90% crash wave, HyParView.
+//
+// The (variant, fraction) cells are independent Networks, fanned out across
+// threads by harness::SweepRunner (HPV_THREADS); results are bit-identical
+// to the serial loop.
 #include "bench_common.hpp"
 
 using namespace hyparview;
-
-namespace {
-
-double burst_reliability(harness::NetworkConfig cfg, double fraction,
-                         std::size_t messages, bench::JsonRecorder* rec) {
-  harness::Network net(cfg);
-  net.build();
-  net.run_cycles(50);
-  net.fail_random_fraction(fraction);
-  if (cfg.sim.notify_on_crash) {
-    net.simulator().run_until_quiescent();  // crash notifications propagate
-  }
-  double sum = 0.0;
-  for (std::size_t m = 0; m < messages; ++m) {
-    sum += net.broadcast_one().reliability();
-  }
-  rec->add_events(net.simulator().events_processed());
-  return sum / static_cast<double>(messages);
-}
-
-}  // namespace
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/200);
@@ -45,19 +28,57 @@ int main() {
       {"notify-on-crash", true, false},
       {"notify-on-crash + reroute", true, true},
   };
+  const std::vector<double> fractions = {0.60, 0.90};
 
-  for (const auto& v : variants) {
-    std::vector<std::string> row = {v.name};
-    for (const double fraction : {0.60, 0.90}) {
-      bench::Stopwatch watch;
-      auto cfg = harness::NetworkConfig::defaults_for(
-          harness::ProtocolKind::kHyParView, scale.nodes, scale.seed);
-      cfg.sim.notify_on_crash = v.notify;
-      cfg.gossip.reroute_on_failure = v.reroute;
-      row.push_back(analysis::fmt_percent(
-          burst_reliability(cfg, fraction, scale.messages, &bench_json), 1));
-      std::printf("[%s @ %.0f%%: %.1fs]\n", v.name, fraction * 100,
-                  watch.seconds());
+  struct Cell {
+    double reliability = 0.0;
+    std::uint64_t events = 0;
+  };
+  std::vector<Cell> cells(variants.size() * fractions.size());
+
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      jobs.push_back([&, v, f] {
+        auto cfg = harness::NetworkConfig::defaults_for(
+            harness::ProtocolKind::kHyParView, scale.nodes, scale.seed);
+        cfg.sim.notify_on_crash = variants[v].notify;
+        cfg.gossip.reroute_on_failure = variants[v].reroute;
+        harness::Network net(cfg);
+        net.build();
+        net.run_cycles(50);
+        net.recorder().reserve(scale.messages);
+        net.fail_random_fraction(fractions[f]);
+        if (cfg.sim.notify_on_crash) {
+          net.simulator().run_until_quiescent();  // crash notifications
+        }
+        double sum = 0.0;
+        for (std::size_t m = 0; m < scale.messages; ++m) {
+          sum += net.broadcast_one().reliability();
+        }
+        Cell& cell = cells[v * fractions.size() + f];
+        cell.reliability = sum / static_cast<double>(scale.messages);
+        cell.events = net.simulator().events_processed();
+        const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
+        std::printf("[%s @ %.0f%%: %s]\n", variants[v].name,
+                    fractions[f] * 100,
+                    analysis::fmt_percent(cell.reliability, 1).c_str());
+      });
+    }
+  }
+
+  const std::vector<double> cell_seconds = bench::run_sweep(jobs, bench_json);
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::string> row = {variants[v].name};
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      const Cell& cell = cells[v * fractions.size() + f];
+      row.push_back(analysis::fmt_percent(cell.reliability, 1));
+      bench_json.add_events(cell.events);
+      bench_json.add_metric(std::string("point_seconds_v") +
+                               std::to_string(v) + "_f" +
+                               analysis::fmt(fractions[f] * 100.0, 0),
+                           cell_seconds[v * fractions.size() + f]);
     }
     table.add_row(std::move(row));
   }

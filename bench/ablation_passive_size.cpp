@@ -1,6 +1,10 @@
 // Ablation A1 (paper §6 future work): how the passive view size relates to
 // the resilience level — reliability right after massive failures, for
 // passive capacities 5..60.
+//
+// Every (passive size, fraction) cell is an independent Network, so the grid
+// fans out across threads (harness::SweepRunner, HPV_THREADS) with results
+// bit-identical to the serial loop.
 #include "bench_common.hpp"
 
 using namespace hyparview;
@@ -15,33 +19,58 @@ int main() {
   const std::vector<std::size_t> passive_sizes = {5, 10, 20, 30, 60};
   const std::vector<double> fractions = {0.60, 0.80, 0.90, 0.95};
 
+  struct Cell {
+    double avg = 0.0;
+    double last = 0.0;
+    std::uint64_t events = 0;
+  };
+  std::vector<Cell> cells(passive_sizes.size() * fractions.size());
+
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t p = 0; p < passive_sizes.size(); ++p) {
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      jobs.push_back([&, p, f] {
+        auto cfg = harness::NetworkConfig::defaults_for(
+            harness::ProtocolKind::kHyParView, scale.nodes,
+            scale.seed + passive_sizes[p]);
+        cfg.hyparview.passive_capacity = passive_sizes[p];
+        harness::Network net(cfg);
+        net.build();
+        net.run_cycles(50);
+        net.recorder().reserve(scale.messages);
+        net.fail_random_fraction(fractions[f]);
+        Cell& cell = cells[p * fractions.size() + f];
+        double sum = 0.0;
+        for (std::size_t m = 0; m < scale.messages; ++m) {
+          cell.last = net.broadcast_one().reliability();
+          sum += cell.last;
+        }
+        cell.avg = sum / static_cast<double>(scale.messages);
+        cell.events = net.simulator().events_processed();
+        const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
+        std::printf("[passive=%zu @ %.0f%%: %s]\n", passive_sizes[p],
+                    fractions[f] * 100,
+                    analysis::fmt_percent(cell.avg, 1).c_str());
+      });
+    }
+  }
+
+  const std::vector<double> cell_seconds = bench::run_sweep(jobs, bench_json);
+
   analysis::Table table({"passive size", "failure%", "avg reliability",
                          "final reliability"});
-  for (const std::size_t passive : passive_sizes) {
-    for (const double fraction : fractions) {
-      bench::Stopwatch watch;
-      auto cfg = harness::NetworkConfig::defaults_for(
-          harness::ProtocolKind::kHyParView, scale.nodes,
-          scale.seed + passive);
-      cfg.hyparview.passive_capacity = passive;
-      harness::Network net(cfg);
-      net.build();
-      net.run_cycles(50);
-      net.fail_random_fraction(fraction);
-      double sum = 0.0;
-      double last = 0.0;
-      for (std::size_t m = 0; m < scale.messages; ++m) {
-        last = net.broadcast_one().reliability();
-        sum += last;
-      }
-      bench_json.add_events(net.simulator().events_processed());
-      table.add_row({std::to_string(passive),
-                     analysis::fmt(fraction * 100.0, 0),
-                     analysis::fmt_percent(
-                         sum / static_cast<double>(scale.messages), 1),
-                     analysis::fmt_percent(last, 1)});
-      std::printf("[passive=%zu @ %.0f%%: %.1fs]\n", passive, fraction * 100,
-                  watch.seconds());
+  for (std::size_t p = 0; p < passive_sizes.size(); ++p) {
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      const Cell& cell = cells[p * fractions.size() + f];
+      table.add_row({std::to_string(passive_sizes[p]),
+                     analysis::fmt(fractions[f] * 100.0, 0),
+                     analysis::fmt_percent(cell.avg, 1),
+                     analysis::fmt_percent(cell.last, 1)});
+      bench_json.add_events(cell.events);
+      bench_json.add_metric(
+          std::string("point_seconds_p") + std::to_string(passive_sizes[p]) +
+              "_f" + analysis::fmt(fractions[f] * 100.0, 0),
+          cell_seconds[p * fractions.size() + f]);
     }
   }
   std::cout << table.to_string();

@@ -1,17 +1,22 @@
 // Shared helpers for the experiment drivers (one binary per paper figure).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "hyparview/analysis/stats.hpp"
 #include "hyparview/analysis/table.hpp"
+#include "hyparview/common/options.hpp"
 #include "hyparview/harness/network.hpp"
 #include "hyparview/harness/scale.hpp"
+#include "hyparview/harness/sweep_runner.hpp"
 
 namespace hyparview::bench {
 
@@ -42,12 +47,18 @@ class Stopwatch {
 };
 
 /// Builds and stabilizes one network (the common §5 preamble).
+/// HPV_JOIN_BATCH > 1 opts into the batched bootstrap (overlapped join
+/// traffic per incremental drain — a bench-scale mode; the default 1 is the
+/// paper's serial join-then-drain methodology).
 inline std::unique_ptr<harness::Network> stabilized_network(
     harness::ProtocolKind kind, std::size_t nodes, std::uint64_t seed,
     std::size_t cycles = 50) {
   auto cfg = harness::NetworkConfig::defaults_for(kind, nodes, seed);
   auto net = std::make_unique<harness::Network>(cfg);
-  net->build();
+  harness::BuildOptions build_options;
+  build_options.join_batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("HPV_JOIN_BATCH", 1)));
+  net->build(build_options);
   net->run_cycles(cycles);
   return net;
 }
@@ -87,6 +98,12 @@ inline void write_bench_json(
   std::printf("[bench json → %s]\n", path.c_str());
 }
 
+/// Guards worker-side progress prints inside sweep jobs (see run_sweep).
+inline std::mutex& sweep_print_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
 /// RAII bench record: starts timing at construction, accumulates simulator
 /// event counts as networks finish, writes BENCH_<name>.json on destruction
 /// (so a driver cannot forget the emit and every exit path is covered).
@@ -114,5 +131,22 @@ class JsonRecorder {
   std::uint64_t events_ = 0;
   std::vector<std::pair<std::string, double>> extra_;
 };
+
+/// Shared scaffolding for the threaded sweep drivers (fig2/fig3 and the
+/// ablations): announces the fan-out, runs the jobs on a SweepRunner
+/// (HPV_THREADS), records the resolved thread count on `rec`, and returns
+/// per-job wall seconds for the drivers' point_seconds_* metrics. Jobs must
+/// follow the SweepRunner determinism contract (own Network, own result
+/// slot); guard worker-side progress prints with sweep_print_mutex().
+inline std::vector<double> run_sweep(
+    const std::vector<std::function<void()>>& jobs, JsonRecorder& rec) {
+  harness::SweepRunner runner;
+  const std::size_t threads = std::min(runner.threads(), jobs.size());
+  std::printf("[sweep: %zu points across %zu threads]\n", jobs.size(),
+              threads);
+  std::vector<double> seconds = runner.run(jobs);
+  rec.add_metric("threads", static_cast<double>(threads));
+  return seconds;
+}
 
 }  // namespace hyparview::bench

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json records.
+
+Every bench driver emits a machine-readable BENCH_<name>.json (wall seconds,
+simulator events, events/sec, scale knobs). This script diffs freshly
+emitted records (anywhere under --fresh-dir, e.g. the CMake build tree after
+`ctest -L smoke`) against the committed baselines in --baseline-dir and
+fails when
+
+  * events_per_second dropped by more than --tolerance (default 25%), or
+  * a zero-allocation metric (*_allocs) became nonzero.
+
+Scale-mismatched pairs (different nodes/messages/runs/seed/quick) are
+skipped with a notice instead of compared: throughput is only meaningful at
+identical scale.
+
+Baselines are machine-relative. Refresh them on the reference machine with:
+
+    ctest --test-dir build -L smoke
+    python3 bench/bench_compare.py --fresh-dir build --update-baselines
+
+Tolerance can also come from HPV_BENCH_TOLERANCE (a fraction, e.g. 0.25).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+
+SCALE_KEYS = ("nodes", "messages", "runs", "seed", "quick")
+
+
+def find_bench_files(root: pathlib.Path):
+    return {p.name: p for p in sorted(root.rglob("BENCH_*.json"))}
+
+
+def load(path: pathlib.Path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        type=pathlib.Path)
+    parser.add_argument("--fresh-dir", default="build", type=pathlib.Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("HPV_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional events/sec drop (default 0.25 = 25%%)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="copy fresh records over the baselines instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    fresh = find_bench_files(args.fresh_dir)
+    if not fresh:
+        print(f"bench_compare: no BENCH_*.json under {args.fresh_dir} — "
+              "run the smoke benches first (ctest -L smoke)")
+        return 1
+
+    if args.update_baselines:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for name, path in fresh.items():
+            shutil.copy(path, args.baseline_dir / name)
+            print(f"bench_compare: baseline updated: {name}")
+        return 0
+
+    baselines = find_bench_files(args.baseline_dir)
+    if not baselines:
+        print(f"bench_compare: no baselines under {args.baseline_dir}")
+        return 1
+
+    failures = []
+    compared = 0
+    for name, base_path in sorted(baselines.items()):
+        if name not in fresh:
+            print(f"bench_compare: SKIP {name}: not emitted by this run")
+            continue
+        base = load(base_path)
+        new = load(fresh[name])
+        if any(base.get(k) != new.get(k) for k in SCALE_KEYS):
+            base_scale = {k: base.get(k) for k in SCALE_KEYS}
+            new_scale = {k: new.get(k) for k in SCALE_KEYS}
+            print(f"bench_compare: SKIP {name}: scale mismatch "
+                  f"(baseline {base_scale}, fresh {new_scale})")
+            continue
+        compared += 1
+
+        base_eps = float(base.get("events_per_second", 0.0))
+        new_eps = float(new.get("events_per_second", 0.0))
+        if base_eps > 0.0:
+            ratio = new_eps / base_eps
+            verdict = "OK"
+            if ratio < 1.0 - args.tolerance:
+                verdict = "FAIL"
+                failures.append(
+                    f"{name}: events/sec regressed {base_eps:,.0f} → "
+                    f"{new_eps:,.0f} ({ratio:.2f}x, tolerance "
+                    f"{1.0 - args.tolerance:.2f}x)")
+            print(f"bench_compare: {verdict} {name}: events/sec "
+                  f"{base_eps:,.0f} → {new_eps:,.0f} ({ratio:.2f}x)")
+
+        for key, base_value in base.items():
+            if key.endswith("_allocs") and float(base_value) == 0.0:
+                new_value = float(new.get(key, 0.0))
+                if new_value != 0.0:
+                    failures.append(
+                        f"{name}: {key} was 0, now {new_value:.0f} — the "
+                        "zero-allocation steady state regressed")
+                    print(f"bench_compare: FAIL {name}: {key} "
+                          f"0 → {new_value:.0f}")
+
+    # A fresh bench with no committed baseline is unguarded: surface it so
+    # new drivers cannot silently escape the gate.
+    for name in sorted(set(fresh) - set(baselines)):
+        print(f"bench_compare: NOTICE {name}: no committed baseline — add "
+              "one with --update-baselines to put it under the gate")
+
+    if compared == 0:
+        print("bench_compare: nothing compared (all skipped) — treat as "
+              "failure so CI cannot silently lose the gate")
+        return 1
+    if failures:
+        print("\nbench_compare: PERF REGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"bench_compare: {compared} bench(es) within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,11 @@
 // Paper anchors: HyParView ≈ flat near 100% below 90% failures and ~90% even
 // at 95%; CyclonAcked competitive up to ~70%; Cyclon and Scamp below 50%
 // reliability once failures exceed ~50%.
+//
+// Every (protocol, failure-fraction, run) point is an independent Network
+// seeded from (config, seed) alone, so the sweep fans out across threads
+// (harness::SweepRunner, HPV_THREADS); per-point results and the aggregated
+// table are bit-identical to the serial loop.
 #include "bench_common.hpp"
 
 using namespace hyparview;
@@ -26,31 +31,70 @@ int main() {
     rows[f][0] = analysis::fmt(fractions[f] * 100.0, 0);
   }
 
-  std::size_t column = 1;
+  // One job per (protocol, fraction, run) point; slots are pre-sized so
+  // aggregation below reads them in deterministic index order.
+  struct Point {
+    harness::ProtocolKind kind;
+    std::size_t f = 0;
+    std::size_t run = 0;
+    double reliability = 0.0;
+    std::uint64_t events = 0;
+  };
+  std::vector<Point> points;
   for (const auto kind : harness::all_protocol_kinds()) {
     for (std::size_t f = 0; f < fractions.size(); ++f) {
-      double sum = 0.0;
-      bench::Stopwatch watch;
       for (std::size_t run = 0; run < scale.runs; ++run) {
-        auto net = bench::stabilized_network(
-            kind, scale.nodes, scale.seed + run * 1000 + f, 50);
-        net->fail_random_fraction(fractions[f]);
-        double acc = 0.0;
-        for (std::size_t m = 0; m < scale.messages; ++m) {
-          acc += net->broadcast_one().reliability();
-        }
-        sum += acc / static_cast<double>(scale.messages);
-        bench_json.add_events(net->simulator().events_processed());
+        points.push_back({kind, f, run, 0.0, 0});
+      }
+    }
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(points.size());
+  for (Point& point : points) {
+    jobs.push_back([&, p = &point] {
+      auto net = bench::stabilized_network(
+          p->kind, scale.nodes, scale.seed + p->run * 1000 + p->f, 50);
+      net->recorder().reserve(scale.messages);
+      net->fail_random_fraction(fractions[p->f]);
+      double acc = 0.0;
+      for (std::size_t m = 0; m < scale.messages; ++m) {
+        acc += net->broadcast_one().reliability();
+      }
+      p->reliability = acc / static_cast<double>(scale.messages);
+      p->events = net->simulator().events_processed();
+      const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
+      std::printf("[%s @ %.0f%% run %zu: %s]\n", harness::kind_name(p->kind),
+                  fractions[p->f] * 100.0, p->run,
+                  analysis::fmt_percent(p->reliability, 1).c_str());
+    });
+  }
+
+  const std::vector<double> point_seconds = bench::run_sweep(jobs, bench_json);
+
+  // Deterministic aggregation: index order == serial order.
+  std::size_t column = 1;
+  std::size_t next_point = 0;
+  for (const auto kind : harness::all_protocol_kinds()) {
+    (void)kind;
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      double sum = 0.0;
+      double seconds = 0.0;
+      for (std::size_t run = 0; run < scale.runs; ++run, ++next_point) {
+        sum += points[next_point].reliability;
+        seconds += point_seconds[next_point];
+        bench_json.add_events(points[next_point].events);
       }
       rows[f][column] =
           analysis::fmt_percent(sum / static_cast<double>(scale.runs), 1);
-      std::printf("[%s @ %.0f%%: %s in %.1fs]\n", harness::kind_name(kind),
-                  fractions[f] * 100.0, rows[f][column].c_str(),
-                  watch.seconds());
+      bench_json.add_metric(
+          std::string("point_seconds_") +
+              harness::kind_name(points[next_point - 1].kind) + "_f" +
+              analysis::fmt(fractions[f] * 100.0, 0),
+          seconds);
     }
     ++column;
   }
-
   for (auto& row : rows) table.add_row(std::move(row));
   std::cout << table.to_string();
   std::printf("paper shape: HyParView ~100%% through 80-90%%, ~90%% at 95%%; "

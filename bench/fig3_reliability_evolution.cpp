@@ -5,6 +5,10 @@
 // 100%); CyclonAcked needs ~25 messages and stalls above ~80% failures;
 // Cyclon and Scamp stay flat (no failure detector) until membership cycles
 // run.
+//
+// Each (fraction, protocol) series is an independent Network, so the whole
+// figure fans out across threads (harness::SweepRunner, HPV_THREADS) with
+// per-(config,seed) results bit-identical to the serial loop.
 #include "bench_common.hpp"
 
 using namespace hyparview;
@@ -28,34 +32,65 @@ int main() {
     return points;
   };
 
+  // One job per (fraction, protocol) series, fraction-major so aggregation
+  // below can walk the slots in the serial reporting order.
+  struct Series {
+    double fraction = 0.0;
+    harness::ProtocolKind kind;
+    std::vector<double> rels;
+    std::uint64_t events = 0;
+  };
+  std::vector<Series> series;
+  for (const double fraction : fractions) {
+    for (const auto kind : harness::all_protocol_kinds()) {
+      series.push_back({fraction, kind, {}, 0});
+    }
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(series.size());
+  for (Series& s : series) {
+    jobs.push_back([&, p = &s] {
+      auto net = bench::stabilized_network(
+          p->kind, scale.nodes,
+          scale.seed + static_cast<std::uint64_t>(p->fraction * 100), 50);
+      net->recorder().reserve(scale.messages);
+      net->fail_random_fraction(p->fraction);
+      p->rels.reserve(scale.messages);
+      for (std::size_t m = 0; m < scale.messages; ++m) {
+        p->rels.push_back(net->broadcast_one().reliability());
+      }
+      p->events = net->simulator().events_processed();
+      const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
+      std::printf("[%s @ %.0f%% done]\n", harness::kind_name(p->kind),
+                  p->fraction * 100.0);
+    });
+  }
+
+  const std::vector<double> series_seconds = bench::run_sweep(jobs, bench_json);
+
+  std::size_t next_series = 0;
   for (const double fraction : fractions) {
     std::printf("\n--- Figure 3: %0.f%% failures ---\n", fraction * 100.0);
-    std::vector<std::vector<double>> series;
-    for (const auto kind : harness::all_protocol_kinds()) {
-      bench::Stopwatch watch;
-      auto net = bench::stabilized_network(
-          kind, scale.nodes,
-          scale.seed + static_cast<std::uint64_t>(fraction * 100), 50);
-      net->fail_random_fraction(fraction);
-      std::vector<double> rels;
-      rels.reserve(scale.messages);
-      for (std::size_t m = 0; m < scale.messages; ++m) {
-        rels.push_back(net->broadcast_one().reliability());
-      }
-      bench_json.add_events(net->simulator().events_processed());
-      std::printf("[%s done in %.1fs]\n", harness::kind_name(kind),
-                  watch.seconds());
-      series.push_back(std::move(rels));
+    const Series* base = &series[next_series];
+    for (std::size_t k = 0; k < harness::all_protocol_kinds().size();
+         ++k, ++next_series) {
+      bench_json.add_events(series[next_series].events);
+      bench_json.add_metric(
+          std::string("point_seconds_") +
+              harness::kind_name(series[next_series].kind) + "_f" +
+              analysis::fmt(fraction * 100.0, 0),
+          series_seconds[next_series]);
     }
 
     analysis::Table table({"msg#", "HyParView", "CyclonAcked", "Cyclon",
                            "Scamp"});
     for (const std::size_t m : report_points(scale.messages)) {
       table.add_row({std::to_string(m),
-                     analysis::fmt_percent(series[0][m - 1], 1),
-                     analysis::fmt_percent(series[1][m - 1], 1),
-                     analysis::fmt_percent(series[2][m - 1], 1),
-                     analysis::fmt_percent(series[3][m - 1], 1)});
+                     analysis::fmt_percent(base[0].rels[m - 1], 1),
+                     analysis::fmt_percent(base[1].rels[m - 1], 1),
+                     analysis::fmt_percent(base[2].rels[m - 1], 1),
+                     analysis::fmt_percent(base[3].rels[m - 1], 1)});
     }
     std::cout << table.to_string();
   }

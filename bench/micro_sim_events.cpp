@@ -1,14 +1,18 @@
 // Microbenchmark + invariant check for the simulator event pipeline.
 //
-// Two claims are verified, not just measured:
+// Three claims are verified, not just measured:
 //  1. steady-state message delivery (the dissemination hot path: send →
 //     queue → deliver → re-send) performs ZERO heap allocations per event —
 //     the slim-POD event queue and the free-list payload pools recycle
 //     everything after warm-up;
 //  2. steady-state timer scheduling (Env::schedule → kTask dispatch) is
-//     likewise allocation-free thanks to InplaceFunction + the task pool.
+//     likewise allocation-free thanks to InplaceFunction + the task pool;
+//  3. the full broadcast pipeline — gossip dedup window, per-node
+//     forwarding buffers, broadcast recorder — is allocation-free once the
+//     dedup windows are saturated and the recorder storage is reserved
+//     (DedupWindow ring + probe table, BroadcastRecorder::reserve).
 //
-// The binary exits non-zero if either steady-state phase allocates, so it
+// The binary exits non-zero if any steady-state phase allocates, so it
 // doubles as a CI regression gate (wired into CTest under the smoke label).
 // Throughput (events/sec) is printed and recorded in
 // BENCH_micro_sim_events.json for cross-PR tracking.
@@ -18,6 +22,7 @@
 #include <new>
 
 #include "bench_common.hpp"
+#include "hyparview/harness/network.hpp"
 #include "hyparview/sim/simulator.hpp"
 
 namespace {
@@ -161,25 +166,68 @@ int run() {
               static_cast<double>(timer_events) / timer_seconds,
               static_cast<unsigned long long>(timer_allocs));
 
+  // --- Phase 3: broadcast path (gossip dedup + recorder) ---------------------
+  // A real HyParView flood network: every broadcast exercises remember()
+  // in each node's dedup window, the reused forwarding buffers, and the
+  // recorder's begin/deliver/duplicate accounting. The dedup windows are
+  // deliberately smaller than the message budget so the warm-up saturates
+  // them (ring + probe table at final size, evictions active) — from then
+  // on the whole pipeline must be allocation-free.
+  const std::size_t bcast_warmup = 300;
+  const std::size_t bcast_messages = scale.quick ? 1'000 : 5'000;
+  auto netcfg = harness::NetworkConfig::defaults_for(
+      harness::ProtocolKind::kHyParView, 64, scale.seed);
+  netcfg.gossip.dedup_window = 256;  // < warm-up: evictions in steady state
+  harness::Network net(netcfg);
+  net.build();
+  net.run_cycles(10);
+  net.recorder().reserve(bcast_warmup + bcast_messages);
+  for (std::size_t m = 0; m < bcast_warmup; ++m) net.broadcast_one();
+
+  const std::uint64_t bcast_events_before = net.simulator().events_processed();
+  const std::uint64_t bcast_allocs_before = g_allocs.load();
+  bench::Stopwatch bcast_watch;
+  double reliability = 0.0;
+  for (std::size_t m = 0; m < bcast_messages; ++m) {
+    reliability += net.broadcast_one().reliability();
+  }
+  const double bcast_seconds = bcast_watch.seconds();
+  const std::uint64_t bcast_allocs = g_allocs.load() - bcast_allocs_before;
+  const std::uint64_t bcast_events =
+      net.simulator().events_processed() - bcast_events_before;
+  reliability /= static_cast<double>(bcast_messages);
+
+  std::printf("broadcast path: %llu events in %.3fs (%.0f events/sec), "
+              "%llu heap allocations, reliability %.4f\n",
+              static_cast<unsigned long long>(bcast_events), bcast_seconds,
+              static_cast<double>(bcast_events) / bcast_seconds,
+              static_cast<unsigned long long>(bcast_allocs), reliability);
+
   bench::write_bench_json(
-      "micro_sim_events", scale, deliver_seconds + timer_seconds,
-      deliver_events + timer_events,
+      "micro_sim_events", scale,
+      deliver_seconds + timer_seconds + bcast_seconds,
+      deliver_events + timer_events + bcast_events,
       {{"deliver_events_per_second",
         static_cast<double>(deliver_events) / deliver_seconds},
        {"timer_events_per_second",
         static_cast<double>(timer_events) / timer_seconds},
+       {"broadcast_events_per_second",
+        static_cast<double>(bcast_events) / bcast_seconds},
        {"deliver_allocs", static_cast<double>(deliver_allocs)},
-       {"timer_allocs", static_cast<double>(timer_allocs)}});
+       {"timer_allocs", static_cast<double>(timer_allocs)},
+       {"broadcast_allocs", static_cast<double>(bcast_allocs)}});
 
-  if (deliver_allocs != 0 || timer_allocs != 0) {
+  if (deliver_allocs != 0 || timer_allocs != 0 || bcast_allocs != 0) {
     std::printf("FAIL: steady-state event processing allocated "
-                "(deliver=%llu, timer=%llu); the zero-allocation invariant "
-                "of the slim-event/slot-pool design regressed.\n",
+                "(deliver=%llu, timer=%llu, broadcast=%llu); the "
+                "zero-allocation invariant of the slim-event/slot-pool/"
+                "dedup-window design regressed.\n",
                 static_cast<unsigned long long>(deliver_allocs),
-                static_cast<unsigned long long>(timer_allocs));
+                static_cast<unsigned long long>(timer_allocs),
+                static_cast<unsigned long long>(bcast_allocs));
     return 1;
   }
-  std::printf("OK: zero heap allocations on both steady-state paths.\n");
+  std::printf("OK: zero heap allocations on all three steady-state paths.\n");
   return 0;
 }
 

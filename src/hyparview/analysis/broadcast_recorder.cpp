@@ -6,10 +6,15 @@
 
 namespace hyparview::analysis {
 
+void BroadcastRecorder::reserve(std::size_t messages) {
+  index_.reserve(messages);
+  results_.reserve(messages);
+}
+
 void BroadcastRecorder::begin_message(std::uint64_t msg_id,
                                       std::size_t alive_nodes) {
   HPV_CHECK(!index_.contains(msg_id));
-  index_.emplace(msg_id, results_.size());
+  index_.insert(msg_id, static_cast<std::uint32_t>(results_.size()));
   MessageResult r;
   r.msg_id = msg_id;
   r.alive_nodes = alive_nodes;
@@ -18,9 +23,9 @@ void BroadcastRecorder::begin_message(std::uint64_t msg_id,
 
 void BroadcastRecorder::on_deliver(const NodeId& /*node*/,
                                    std::uint64_t msg_id, std::uint16_t hops) {
-  const auto it = index_.find(msg_id);
-  if (it == index_.end()) return;  // unregistered traffic (warmup etc.)
-  MessageResult& r = results_[it->second];
+  const std::uint32_t* slot = index_.find(msg_id);
+  if (slot == nullptr) return;  // unregistered traffic (warmup etc.)
+  MessageResult& r = results_[*slot];
   ++r.delivered;
   r.hop_sum += hops;
   r.max_hops = std::max(r.max_hops, hops);
@@ -28,15 +33,15 @@ void BroadcastRecorder::on_deliver(const NodeId& /*node*/,
 
 void BroadcastRecorder::on_duplicate(const NodeId& /*node*/,
                                      std::uint64_t msg_id) {
-  const auto it = index_.find(msg_id);
-  if (it == index_.end()) return;
-  ++results_[it->second].duplicates;
+  const std::uint32_t* slot = index_.find(msg_id);
+  if (slot == nullptr) return;
+  ++results_[*slot].duplicates;
 }
 
 const MessageResult& BroadcastRecorder::result(std::uint64_t msg_id) const {
-  const auto it = index_.find(msg_id);
-  HPV_CHECK(it != index_.end());
-  return results_[it->second];
+  const std::uint32_t* slot = index_.find(msg_id);
+  HPV_CHECK(slot != nullptr);
+  return results_[*slot];
 }
 
 double BroadcastRecorder::average_reliability() const {

@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "hyparview/common/flat_hash.hpp"
 #include "hyparview/gossip/gossip_engine.hpp"
 
 namespace hyparview::analysis {
@@ -33,6 +33,12 @@ struct MessageResult {
 
 class BroadcastRecorder final : public gossip::DeliveryObserver {
  public:
+  /// Pre-sizes the record storage for `messages` begin_message calls, after
+  /// which recording (begin/deliver/duplicate) performs no heap allocation
+  /// until the reservation is exceeded. Benches reserve their full message
+  /// budget up front so the accounting never rehashes mid-measurement.
+  void reserve(std::size_t messages);
+
   /// Starts accounting for msg_id; `alive_nodes` is the reliability
   /// denominator (correct processes at send time).
   void begin_message(std::uint64_t msg_id, std::size_t alive_nodes);
@@ -58,7 +64,10 @@ class BroadcastRecorder final : public gossip::DeliveryObserver {
   void clear();
 
  private:
-  std::unordered_map<std::uint64_t, std::size_t> index_;
+  /// msg_id → index into results_. Open-addressing: the per-delivery lookup
+  /// on the dissemination hot path is one probe in a contiguous slab, and
+  /// with reserve() the whole recording phase is rehash-free.
+  FlatMap<std::uint64_t, std::uint32_t> index_;
   std::vector<MessageResult> results_;
 };
 

@@ -341,8 +341,10 @@ void HyParView::maybe_promote() {
   // Candidates: passive members not yet tried in this repair episode.
   // Pre-connected (warm) candidates are preferred — their dial is already
   // paid, so the NEIGHBOR request can go out immediately (§2.4 / CREW).
-  std::vector<NodeId> warm_candidates;
-  std::vector<NodeId> cold_candidates;
+  std::vector<NodeId>& warm_candidates = promote_warm_scratch_;
+  std::vector<NodeId>& cold_candidates = promote_cold_scratch_;
+  warm_candidates.clear();
+  cold_candidates.clear();
   for (const NodeId& n : passive_) {
     if (std::find(promote_attempted_.begin(), promote_attempted_.end(), n) !=
         promote_attempted_.end()) {

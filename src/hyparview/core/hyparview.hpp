@@ -174,6 +174,14 @@ class HyParView final : public membership::Protocol {
   bool promote_in_flight_ = false;
   std::optional<NodeId> promote_candidate_;
   std::vector<NodeId> promote_attempted_;
+  /// Candidate scratch for maybe_promote(), reused across calls: the
+  /// promotion loop runs on *every* gossip message at a node with a
+  /// non-full active view (on_traffic), so it must not allocate per
+  /// message. Only read before the episode's async dial/send goes out, so
+  /// re-entry through a synchronous transport failure cannot clobber a
+  /// live read.
+  std::vector<NodeId> promote_warm_scratch_;
+  std::vector<NodeId> promote_cold_scratch_;
 
   Stats stats_;
 };

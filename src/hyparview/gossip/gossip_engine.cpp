@@ -7,9 +7,11 @@ namespace hyparview::gossip {
 GossipEngine::GossipEngine(membership::Env& env,
                            membership::Protocol& protocol, GossipConfig config,
                            DeliveryObserver* observer)
-    : env_(env), protocol_(protocol), config_(config), observer_(observer) {
-  HPV_CHECK(config_.dedup_window >= 1);
-}
+    : env_(env),
+      protocol_(protocol),
+      config_(config),
+      observer_(observer),
+      seen_(config_.dedup_window) {}
 
 void GossipEngine::broadcast(std::uint64_t msg_id) {
   wire::Gossip msg;
@@ -67,30 +69,31 @@ void GossipEngine::on_send_failed(const NodeId& to, const wire::Gossip& msg) {
       break;
   }
   if (config_.reroute_on_failure) {
-    // Pick one substitute target; exclusion of already-contacted peers is
-    // best-effort (we exclude only the failed one).
-    const std::vector<NodeId> subst = protocol_.broadcast_targets(1, to);
-    if (!subst.empty()) {
+    // Pick one *uniformly random* substitute target; exclusion of
+    // already-contacted peers is best-effort (we exclude only the failed
+    // one). In flood mode we ask for the whole view (fanout 0 = no
+    // truncation) and draw uniformly ourselves — always taking front()
+    // would bias every reroute in the system toward the first active-view
+    // member. The random-fanout modes already return one uniformly random
+    // member.
+    const std::size_t want = config_.mode == Mode::kFlood ? 0 : 1;
+    protocol_.broadcast_targets(want, to, reroute_scratch_);
+    if (!reroute_scratch_.empty()) {
+      const NodeId subst =
+          reroute_scratch_.size() == 1
+              ? reroute_scratch_.front()
+              : reroute_scratch_[static_cast<std::size_t>(
+                    env_.rng().below(reroute_scratch_.size()))];
       ++forwarded_;
-      env_.send(subst.front(), msg);
+      env_.send(subst, msg);
     }
   }
 }
 
 bool GossipEngine::remember(std::uint64_t msg_id) {
-  if (seen_.contains(msg_id)) return false;
-  seen_.insert(msg_id);
-  seen_order_.push_back(msg_id);
-  if (seen_order_.size() > config_.dedup_window) {
-    seen_.erase(seen_order_.front());
-    seen_order_.pop_front();
-  }
-  return true;
+  return seen_.remember(msg_id);
 }
 
-void GossipEngine::reset() {
-  seen_.clear();
-  seen_order_.clear();
-}
+void GossipEngine::reset() { seen_.clear(); }
 
 }  // namespace hyparview::gossip

@@ -16,10 +16,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_set>
 
 #include "hyparview/common/node_id.hpp"
+#include "hyparview/gossip/dedup_window.hpp"
 #include "hyparview/membership/env.hpp"
 #include "hyparview/membership/protocol.hpp"
 
@@ -46,9 +45,14 @@ struct GossipConfig {
   bool explicit_acks = false;
   /// Synthetic payload size carried in each gossip frame.
   std::uint32_t payload_size = 128;
-  /// Duplicate-suppression window (ids remembered per node). Experiments
-  /// send messages sequentially so a small window suffices; long-lived TCP
-  /// deployments should size this to their in-flight message horizon.
+  /// Duplicate-suppression window (ids remembered per node). Size it to
+  /// the *in-flight* duplicate horizon — the number of distinct broadcasts
+  /// that can have undelivered copies at once — not to total history; an
+  /// id evicted while copies are still in flight would be re-delivered as
+  /// new. The default is generous for long-lived deployments; the
+  /// simulation harness overrides it down (NetworkConfig::defaults_for),
+  /// where it drains every broadcast before the next and 10k per-node
+  /// windows decide whether remember() hits cache or DRAM.
   std::size_t dedup_window = 1024;
 };
 
@@ -105,16 +109,21 @@ class GossipEngine {
   GossipConfig config_;
   DeliveryObserver* observer_;
 
-  std::unordered_set<std::uint64_t> seen_;
-  std::deque<std::uint64_t> seen_order_;
+  /// Duplicate suppression: fixed-capacity ring + probe table, zero
+  /// steady-state allocation (see dedup_window.hpp).
+  DedupWindow seen_;
   /// Reused target buffer for forward()'s send loop. Invariant: nothing
   /// reachable from env_.send() may touch targets_scratch_ or re-enter
   /// forward(). Deliveries are asynchronous on both backends, but
   /// TcpTransport::send can invoke send_failed *synchronously* on a dial
   /// failure — on_send_failed is safe because it never calls forward() and
-  /// its reroute path uses the allocating broadcast_targets overload. Keep
-  /// it that way.
+  /// its reroute path uses the separate reroute_scratch_ buffer. Keep it
+  /// that way.
   std::vector<NodeId> targets_scratch_;
+  /// Reused candidate buffer for on_send_failed's reroute path. Separate
+  /// from targets_scratch_ because a synchronous transport failure can
+  /// land while forward() is still iterating its buffer.
+  std::vector<NodeId> reroute_scratch_;
   std::uint64_t duplicates_ = 0;
   std::uint64_t forwarded_ = 0;
 };

@@ -65,6 +65,13 @@ NetworkConfig NetworkConfig::defaults_for(ProtocolKind kind,
       break;
   }
   cfg.gossip.fanout = cfg.fanout;
+  // The harness drains every broadcast before starting the next, so at most
+  // a handful of ids ever have copies in flight — 128 leaves two orders of
+  // magnitude of slack over that in-flight horizon. Keeping the per-node
+  // window small matters at paper scale: 10k windows are probed once per
+  // delivery, and their combined footprint decides whether the dedup path
+  // hits cache or DRAM.
+  cfg.gossip.dedup_window = 128;
   return cfg;
 }
 
@@ -114,8 +121,9 @@ std::unique_ptr<membership::Protocol> Network::make_protocol(
   return nullptr;
 }
 
-void Network::build() {
+void Network::build(const BuildOptions& options) {
   HPV_CHECK(!built_);
+  HPV_CHECK_THROW(options.join_batch >= 1, "join_batch must be >= 1");
   built_ = true;
   runtimes_.reserve(config_.node_count);
   for (std::size_t i = 0; i < config_.node_count; ++i) {
@@ -128,17 +136,27 @@ void Network::build() {
     sim_.set_handler(id, runtime.get());
     runtimes_.push_back(std::move(runtime));
   }
-  // Joins happen one by one with no membership rounds in between (§5).
-  runtimes_[0]->protocol().start(std::nullopt);
-  sim_.run_until_quiescent();
-  for (std::size_t i = 1; i < runtimes_.size(); ++i) {
-    std::size_t contact = 0;
-    if (config_.kind == ProtocolKind::kScamp) {
-      // Scamp joins through a random node already in the overlay.
-      contact = static_cast<std::size_t>(sim_.rng().below(i));
+  // Joins happen with no membership rounds in between (§5); each drain is
+  // bounded by the watermark taken before the batch, so only the joins'
+  // own traffic (and its cascades) is retired.
+  {
+    const std::uint64_t mark = sim_.next_event_seq();
+    runtimes_[0]->protocol().start(std::nullopt);
+    sim_.run_until_quiescent_from(mark);
+  }
+  for (std::size_t i = 1; i < runtimes_.size();) {
+    const std::size_t batch_end =
+        std::min(runtimes_.size(), i + options.join_batch);
+    const std::uint64_t mark = sim_.next_event_seq();
+    for (; i < batch_end; ++i) {
+      std::size_t contact = 0;
+      if (config_.kind == ProtocolKind::kScamp) {
+        // Scamp joins through a random node already in the overlay.
+        contact = static_cast<std::size_t>(sim_.rng().below(i));
+      }
+      runtimes_[i]->protocol().start(id_of(contact));
     }
-    runtimes_[i]->protocol().start(id_of(contact));
-    sim_.run_until_quiescent();
+    sim_.run_until_quiescent_from(mark);
   }
 }
 
@@ -172,6 +190,11 @@ void Network::fail_random_fraction(double fraction) {
 
 std::size_t Network::add_node() {
   HPV_CHECK(built_);
+  // Checked before the node is created: once the joiner exists it is itself
+  // alive, and the contact-selection loop below would otherwise spin
+  // forever drawing the joiner as its own contact.
+  HPV_CHECK_THROW(sim_.alive_count() > 0,
+                  "add_node: no alive node left to act as join contact");
   const NodeId id = sim_.add_node(nullptr);
   class_of_.push_back(assign_class());
   gossip::GossipConfig gcfg = config_.gossip;

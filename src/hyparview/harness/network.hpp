@@ -94,6 +94,17 @@ struct ChurnStats {
   std::size_t crashes = 0;
 };
 
+/// Bootstrap tuning for Network::build().
+struct BuildOptions {
+  /// Joins started per drain. 1 (default) reproduces the paper's serial
+  /// bootstrap — each join's traffic settles before the next node joins.
+  /// Larger batches overlap the join traffic of `join_batch` nodes under
+  /// one incremental drain: statistically equivalent overlays, different
+  /// (still deterministic) event interleaving — a bench-scale mode, not the
+  /// §5 methodology.
+  std::size_t join_batch = 1;
+};
+
 class Network {
  public:
   explicit Network(NetworkConfig config);
@@ -102,9 +113,13 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Creates all nodes and joins them one by one (each join's traffic
-  /// drains before the next node joins), without membership rounds.
-  void build();
+  /// Creates all nodes and joins them (serially by default; see
+  /// BuildOptions), without membership rounds. Each drain is incremental:
+  /// only the events caused by the batch being joined are retired
+  /// (Simulator::run_until_quiescent_from), so pending unrelated work —
+  /// e.g. long-delay timers once protocols schedule them — cannot inflate
+  /// the bootstrap.
+  void build(const BuildOptions& options = {});
 
   /// Runs `n` membership rounds. In each round every alive node executes
   /// its periodic action once, in random order, and the resulting traffic

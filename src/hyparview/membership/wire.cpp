@@ -148,6 +148,13 @@ std::size_t wire_cost(const Message& msg) {
   return cost;
 }
 
+std::size_t wire_cost(const Gossip& gossip) {
+  // tag u8 + msg_id u64 + hops u16 + payload_size u32, then the synthetic
+  // payload itself (kept in sync with encode_impl by a wire test).
+  constexpr std::size_t kGossipFrameBytes = 1 + 8 + 2 + 4;
+  return kGossipFrameBytes + gossip.payload_size;
+}
+
 std::vector<std::uint8_t> encode_bytes(const Message& msg) {
   BinaryWriter w;
   encode(msg, w);

@@ -209,6 +209,12 @@ void encode(const Message& msg, BinaryWriter& writer);
 /// This is the unit of the overhead-accounting experiment.
 [[nodiscard]] std::size_t wire_cost(const Message& msg);
 
+/// Fast-path overload for the dissemination hot loop: a Gossip frame's
+/// encoded size is a compile-time constant, so the per-send accounting can
+/// skip the generic encoder walk. A wire test pins it against the generic
+/// overload so the two can never disagree.
+[[nodiscard]] std::size_t wire_cost(const Gossip& gossip);
+
 /// Parses a frame produced by encode(). Throws CheckError on malformed input.
 [[nodiscard]] Message decode(BinaryReader& reader);
 [[nodiscard]] Message decode_bytes(std::span<const std::uint8_t> bytes);

@@ -56,6 +56,7 @@ Simulator::Simulator(SimConfig config)
   // POD store plus sift, never a reallocation.
   queue_.reserve(config_.initial_event_capacity);
   messages_.reserve(config_.initial_event_capacity);
+  gossips_.reserve(config_.initial_event_capacity);
   tasks_.reserve(64);
   connects_.reserve(64);
 }
@@ -94,20 +95,22 @@ void Simulator::crash(const NodeId& id) {
   node.inbox.clear();
   --alive_count_;
   if (config_.notify_on_crash) {
-    for (const Link& link : node.links) {
+    for (const std::uint32_t peer : node.link_peers) {
       // The peer's side of the link is removed when the notification is
       // dispatched (it may be suppressed if the peer closes first).
-      const Link* peer_side = link_find(nodes_[link.peer].links, id.ip);
-      if (peer_side == nullptr) continue;
+      const std::size_t peer_side = link_slot(nodes_[peer], id.ip);
+      if (peer_side == kNoLink) continue;
       Event ev;
       ev.at = now_ + config_.failure_detect_delay;
       ev.kind = EventKind::kLinkClosed;
-      ev.node = link.peer;
+      ev.node = peer;
       ev.peer = id.ip;
-      ev.link_gen = peer_side->gen;
+      ev.link_gen = nodes_[peer].link_data[peer_side].gen;
       push_event(ev);
     }
-    node.links.clear();
+    node.link_peers.clear();
+    node.link_data.clear();
+    node.link_index.clear();
   }
   // In detect-on-send mode the links stay in peers' tables; the next send
   // over them fails, which is exactly how the paper's failure detector works.
@@ -124,19 +127,37 @@ void Simulator::unblock(const NodeId& id) {
   SimNode& node = nodes_[id.ip];
   if (!node.blocked) return;
   node.blocked = false;
-  // Deliver the backlog in arrival order (the consumer catches up): a
+  // Replay the backlog in arrival order (the consumer catches up): a
   // single shared delay plus the sequence-number tie break preserves it.
   std::vector<QueuedMessage> backlog;
   backlog.swap(node.inbox);
   const Duration delay = draw_latency();
   for (auto& queued : backlog) {
     Event ev;
-    ev.kind = queued.is_close ? EventKind::kLinkClosed : EventKind::kDeliver;
-    ev.ok = queued.is_close;  // forced replay: skip the suppression check
     ev.at = now_ + delay;
     ev.node = id.ip;
     ev.peer = queued.from;
-    if (!queued.is_close) ev.payload = messages_.put(std::move(queued.msg));
+    switch (queued.kind) {
+      case QueuedMessage::Kind::kDeliver:
+        ev.kind = EventKind::kDeliver;
+        ev.payload = messages_.put(std::move(queued.msg));
+        break;
+      case QueuedMessage::Kind::kClose:
+        ev.kind = EventKind::kLinkClosed;
+        ev.replay = true;  // skip the gen/suppression check: already ran
+        break;
+      case QueuedMessage::Kind::kSendFailed:
+        ev.kind = EventKind::kSendFailed;
+        ev.replay = true;  // already counted at the original dispatch
+        ev.payload = messages_.put(std::move(queued.msg));
+        break;
+      case QueuedMessage::Kind::kConnectResult:
+        ev.kind = EventKind::kConnectResult;
+        ev.replay = true;  // deliver the recorded handshake outcome
+        ev.ok = queued.ok;
+        ev.payload = connects_.put(std::move(queued.cb));
+        break;
+    }
     push_event(ev);
   }
 }
@@ -153,14 +174,14 @@ bool Simulator::drop_link(const NodeId& a, const NodeId& b) {
   // resolve exactly like do_disconnect-initiated teardowns.
   bool scheduled = false;
   for (const auto& [owner, other] : {std::pair{a.ip, b.ip}, {b.ip, a.ip}}) {
-    const Link* side = link_find(nodes_[owner].links, other);
-    if (side == nullptr || !nodes_[owner].alive) continue;
+    const std::size_t side = link_slot(nodes_[owner], other);
+    if (side == kNoLink || !nodes_[owner].alive) continue;
     Event ev;
     ev.at = now_ + config_.failure_detect_delay;
     ev.kind = EventKind::kLinkClosed;
     ev.node = owner;
     ev.peer = other;
-    ev.link_gen = side->gen;
+    ev.link_gen = nodes_[owner].link_data[side].gen;
     push_event(ev);
     scheduled = true;
   }
@@ -173,9 +194,9 @@ std::size_t Simulator::drop_random_links(double fraction) {
   // asymmetric after detect-on-send crashes), sorted for determinism.
   std::vector<std::uint64_t> pairs;
   for (std::uint32_t x = 0; x < nodes_.size(); ++x) {
-    for (const Link& link : nodes_[x].links) {
-      const std::uint32_t lo = std::min(x, link.peer);
-      const std::uint32_t hi = std::max(x, link.peer);
+    for (const std::uint32_t peer : nodes_[x].link_peers) {
+      const std::uint32_t lo = std::min(x, peer);
+      const std::uint32_t hi = std::max(x, peer);
       pairs.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
     }
   }
@@ -212,24 +233,47 @@ std::uint64_t Simulator::run_until_quiescent() {
   return processed;
 }
 
+std::uint64_t Simulator::run_until_quiescent_from(std::uint64_t watermark) {
+  HPV_CHECK(watermark <= next_seq_);
+  HPV_CHECK(!bounded_drain_active_);  // bounded drains do not nest
+  bounded_drain_active_ = true;
+  bounded_watermark_ = watermark;
+  bounded_pending_ = 0;
+  for (const Event& ev : queue_.items()) {
+    if (ev.seq >= watermark) ++bounded_pending_;
+  }
+  std::uint64_t processed = 0;
+  while (bounded_pending_ > 0) {
+    // The queue cannot be empty while watermarked events are outstanding.
+    step();
+    ++processed;
+    HPV_CHECK(processed <= config_.max_events_per_drain);
+  }
+  bounded_drain_active_ = false;
+  return processed;
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   Event ev = queue_.pop();
   HPV_ASSERT(ev.at >= now_);
   now_ = ev.at;
   ++events_processed_;
+  if (bounded_drain_active_ && ev.seq >= bounded_watermark_) {
+    --bounded_pending_;
+  }
   dispatch(ev);
   return true;
 }
 
 bool Simulator::linked(const NodeId& a, const NodeId& b) const {
   HPV_CHECK(a.ip < nodes_.size() && b.ip < nodes_.size());
-  return link_has(nodes_[a.ip].links, b.ip);
+  return link_has(nodes_[a.ip], b.ip);
 }
 
 std::size_t Simulator::link_count(const NodeId& id) const {
   HPV_CHECK(id.ip < nodes_.size());
-  return nodes_[id.ip].links.size();
+  return nodes_[id.ip].link_peers.size();
 }
 
 void Simulator::reset_counters() {
@@ -247,48 +291,59 @@ void Simulator::do_send(std::uint32_t from, std::uint32_t to,
   HPV_CHECK(to < nodes_.size());
   // Dead nodes initiate nothing; blocked nodes are frozen applications.
   if (!nodes_[from].alive || nodes_[from].blocked) return;
+  const auto* gossip = std::get_if<wire::Gossip>(&msg);
   ++sent_total_;
   const std::uint8_t tag = wire::type_tag(msg);
   ++sent_by_type_[tag];
-  const std::uint64_t cost = wire::wire_cost(msg);
+  const std::uint64_t cost =
+      gossip != nullptr ? wire::wire_cost(*gossip) : wire::wire_cost(msg);
   bytes_total_ += cost;
   bytes_by_type_[tag] += cost;
 
   Event ev;
+  // Gossip frames — the broadcast hot path — live in their own POD pool;
+  // everything else rides the generic variant pool.
+  if (gossip != nullptr) {
+    ev.payload = gossips_.put(*gossip);
+    ev.gossip = true;
+  } else {
+    ev.payload = messages_.put(std::move(msg));
+  }
   if (!nodes_[to].alive) {
     // TCP write against a crashed peer: fails back to the sender after the
     // detection delay. The link, if any, is torn down.
-    link_remove(nodes_[from].links, to);
+    link_remove(nodes_[from], to);
     ev.kind = EventKind::kSendFailed;
     ev.at = now_ + config_.failure_detect_delay;
     ev.node = from;
     ev.peer = to;
-    ev.payload = messages_.put(std::move(msg));
     push_event(ev);
     return;
   }
   // Implicit connection establishment, as with a TCP dial-on-demand cache.
-  Link* link = link_find(nodes_[from].links, to);
-  if (link == nullptr) {
-    link = &link_add(nodes_[from].links, to);
-    // Safe to keep the reference: for from != to this touches a different
-    // node's vector, and for a (degenerate) self-send it finds the entry
-    // just added instead of growing the vector.
-    link_add(nodes_[to].links, from);
+  std::size_t slot = link_slot(nodes_[from], to);
+  if (slot == kNoLink) {
+    slot = link_add(nodes_[from], to);
+    // The slot stays valid: for from != to this touches a different node's
+    // table, and for a (degenerate) self-send it finds the entry just
+    // added instead of growing the table.
+    link_add(nodes_[to], from);
     ++connections_opened_;
   }
   ev.kind = EventKind::kDeliver;
-  ev.at = arrival_time(*link);
+  ev.at = arrival_time(nodes_[from].link_data[slot]);
   ev.node = to;
   ev.peer = from;
-  ev.payload = messages_.put(std::move(msg));
   push_event(ev);
 }
 
 void Simulator::do_connect(std::uint32_t from, std::uint32_t to,
                            membership::ConnectCallback cb) {
   HPV_CHECK(to < nodes_.size());
-  if (!nodes_[from].alive) return;
+  // Dead nodes initiate nothing, and neither do blocked ones: a frozen
+  // process cannot reach its dial loop any more than its send path (the
+  // same rule do_send applies).
+  if (!nodes_[from].alive || nodes_[from].blocked) return;
   Event ev;
   ev.kind = EventKind::kConnectResult;
   ev.at = now_ + (nodes_[to].alive ? draw_latency()
@@ -301,28 +356,31 @@ void Simulator::do_connect(std::uint32_t from, std::uint32_t to,
 
 void Simulator::do_disconnect(std::uint32_t from, std::uint32_t to) {
   HPV_CHECK(to < nodes_.size());
+  // Same inertness rule as do_send/do_connect: a frozen (or dead)
+  // application never reaches its teardown path either.
+  if (!nodes_[from].alive || nodes_[from].blocked) return;
   // TCP semantics: the remote side observes our FIN *after* any in-flight
   // data on this connection (clamped to the link's last scheduled arrival).
   // If the remote closes its own side first — e.g. because a DISCONNECT
   // message told it to — or the pair reconnects meanwhile (new generation),
   // the notification is suppressed at dispatch.
-  const Link* remote_side =
-      nodes_[to].alive ? link_find(nodes_[to].links, from) : nullptr;
-  if (remote_side != nullptr) {
+  const std::size_t remote_side =
+      nodes_[to].alive ? link_slot(nodes_[to], from) : kNoLink;
+  if (remote_side != kNoLink) {
     TimePoint fin_at = now_ + draw_latency();
-    if (const Link* mine = link_find(nodes_[from].links, to);
-        mine != nullptr && mine->last_arrival > fin_at) {
-      fin_at = mine->last_arrival;
+    if (const std::size_t mine = link_slot(nodes_[from], to);
+        mine != kNoLink && nodes_[from].link_data[mine].last_arrival > fin_at) {
+      fin_at = nodes_[from].link_data[mine].last_arrival;
     }
     Event ev;
     ev.at = fin_at + config_.failure_detect_delay;
     ev.kind = EventKind::kLinkClosed;
     ev.node = to;
     ev.peer = from;
-    ev.link_gen = remote_side->gen;
+    ev.link_gen = nodes_[to].link_data[remote_side].gen;
     push_event(ev);
   }
-  link_remove(nodes_[from].links, to);
+  link_remove(nodes_[from], to);
 }
 
 void Simulator::do_schedule(std::uint32_t node, Duration delay,
@@ -338,6 +396,9 @@ void Simulator::do_schedule(std::uint32_t node, Duration delay,
 
 void Simulator::push_event(Event ev) {
   ev.seq = next_seq_++;
+  // Any event pushed during a bounded drain was caused by watermarked work
+  // (its seq is >= the watermark by construction), so it extends the drain.
+  if (bounded_drain_active_) ++bounded_pending_;
   queue_.push(ev);
 }
 
@@ -350,17 +411,18 @@ void Simulator::dispatch(Event& ev) {
         // stack notices (RST / timeout) and reports the failure. The
         // payload slot transfers to the failure event untouched.
         if (nodes_[ev.peer].alive) {
-          link_remove(nodes_[ev.peer].links, ev.node);
-          link_remove(node.links, ev.peer);
+          link_remove(nodes_[ev.peer], ev.node);
+          link_remove(node, ev.peer);
           Event fail;
           fail.kind = EventKind::kSendFailed;
           fail.at = now_ + config_.failure_detect_delay;
           fail.node = ev.peer;
           fail.peer = ev.node;
           fail.payload = ev.payload;
+          fail.gossip = ev.gossip;
           push_event(fail);
         } else {
-          messages_.release(ev.payload);
+          release_message(ev);
         }
         return;
       }
@@ -369,28 +431,35 @@ void Simulator::dispatch(Event& ev) {
         // window, then fail back to the sender as if the node had crashed.
         std::size_t from_sender = 0;
         for (const auto& queued : node.inbox) {
-          if (queued.from == ev.peer && !queued.is_close) ++from_sender;
+          if (queued.from == ev.peer &&
+              queued.kind == QueuedMessage::Kind::kDeliver) {
+            ++from_sender;
+          }
         }
         if (from_sender < config_.link_send_buffer) {
           if (node.inbox.capacity() == 0) {
             node.inbox.reserve(config_.link_send_buffer);
           }
-          node.inbox.push_back(QueuedMessage{
-              ev.peer, messages_.take(ev.payload), /*is_close=*/false});
+          QueuedMessage queued;
+          queued.kind = QueuedMessage::Kind::kDeliver;
+          queued.from = ev.peer;
+          queued.msg = take_message(ev);
+          node.inbox.push_back(std::move(queued));
           return;
         }
         if (nodes_[ev.peer].alive) {
-          link_remove(nodes_[ev.peer].links, ev.node);
-          link_remove(node.links, ev.peer);
+          link_remove(nodes_[ev.peer], ev.node);
+          link_remove(node, ev.peer);
           Event fail;
           fail.kind = EventKind::kSendFailed;
           fail.at = now_ + config_.failure_detect_delay;
           fail.node = ev.peer;
           fail.peer = ev.node;
           fail.payload = ev.payload;
+          fail.gossip = ev.gossip;
           push_event(fail);
         } else {
-          messages_.release(ev.payload);
+          release_message(ev);
         }
         return;
       }
@@ -398,16 +467,27 @@ void Simulator::dispatch(Event& ev) {
       // Move the payload out before the upcall: the handler's own sends may
       // grow the slab, and the recycled slot must not alias the message the
       // handler is still reading.
-      wire::Message msg = messages_.take(ev.payload);
+      wire::Message msg = take_message(ev);
       if (node.handler != nullptr) {
         node.handler->deliver(NodeId::from_index(ev.peer), msg);
       }
       return;
     }
     case EventKind::kSendFailed: {
-      ++send_failures_;
-      wire::Message msg = messages_.take(ev.payload);
+      if (!ev.replay) ++send_failures_;
+      wire::Message msg = take_message(ev);
       if (!node.alive) return;
+      if (node.blocked) {
+        // The failure report is a kernel-level fact (the RST arrived); the
+        // frozen application processes it when it resumes — dropping it
+        // would wedge protocols waiting on the send's outcome.
+        QueuedMessage queued;
+        queued.kind = QueuedMessage::Kind::kSendFailed;
+        queued.from = ev.peer;
+        queued.msg = std::move(msg);
+        node.inbox.push_back(std::move(queued));
+        return;
+      }
       if (node.handler != nullptr) {
         node.handler->send_failed(NodeId::from_index(ev.peer), msg);
       }
@@ -416,36 +496,54 @@ void Simulator::dispatch(Event& ev) {
     case EventKind::kConnectResult: {
       membership::ConnectCallback cb = connects_.take(ev.payload);
       if (!node.alive) return;
-      const bool ok = nodes_[ev.peer].alive;
-      if (ok && !link_has(node.links, ev.peer)) {
-        link_add(node.links, ev.peer);
-        link_add(nodes_[ev.peer].links, ev.node);
+      // The kernel completes the handshake whether or not the application
+      // is frozen, so the link comes into being now; only the callback
+      // waits for the process to resume (a dropped completion would wedge
+      // any state machine gating on the dial, e.g. HyParView promotion).
+      const bool ok = ev.replay ? ev.ok : nodes_[ev.peer].alive;
+      if (!ev.replay && ok && !link_has(node, ev.peer)) {
+        link_add(node, ev.peer);
+        link_add(nodes_[ev.peer], ev.node);
         ++connections_opened_;
+      }
+      if (node.blocked) {
+        QueuedMessage queued;
+        queued.kind = QueuedMessage::Kind::kConnectResult;
+        queued.from = ev.peer;
+        queued.cb = std::move(cb);
+        queued.ok = ok;
+        node.inbox.push_back(std::move(queued));
+        return;
       }
       if (cb) cb(ok);
       return;
     }
     case EventKind::kTask: {
       membership::TaskCallback task = tasks_.take(ev.payload);
-      // Frozen applications miss their timers (they fire into a stuck
-      // process); dead ones are gone.
+      // Frozen applications miss their timers (app-internal scheduling
+      // fires into a stuck process); dead ones are gone.
       if (!node.alive || node.blocked) return;
       if (task) task();
       return;
     }
     case EventKind::kLinkClosed: {
       if (!node.alive) return;
-      // ev.ok marks a forced replay from a drained inbox; otherwise the
-      // notification only fires if our side of *that* link instance is
+      // ev.replay marks a forced replay from a drained inbox; otherwise
+      // the notification only fires if our side of *that* link instance is
       // still open (close-vs-close races resolve silently, like mutual
       // FINs, and reconnections have a fresh generation).
-      if (!ev.ok) {
-        const Link* side = link_find(node.links, ev.peer);
-        if (side == nullptr || side->gen != ev.link_gen) return;
-        link_remove(node.links, ev.peer);
+      if (!ev.replay) {
+        const std::size_t side = link_slot(node, ev.peer);
+        if (side == kNoLink || node.link_data[side].gen != ev.link_gen) {
+          return;
+        }
+        link_remove(node, ev.peer);
       }
       if (node.blocked) {
-        node.inbox.push_back(QueuedMessage{ev.peer, {}, /*is_close=*/true});
+        QueuedMessage queued;
+        queued.kind = QueuedMessage::Kind::kClose;
+        queued.from = ev.peer;
+        node.inbox.push_back(std::move(queued));
         return;
       }
       if (node.handler != nullptr) {
@@ -456,6 +554,19 @@ void Simulator::dispatch(Event& ev) {
   }
 }
 
+wire::Message Simulator::take_message(const Event& ev) {
+  if (ev.gossip) return wire::Message(gossips_.take(ev.payload));
+  return messages_.take(ev.payload);
+}
+
+void Simulator::release_message(const Event& ev) {
+  if (ev.gossip) {
+    gossips_.release(ev.payload);
+  } else {
+    messages_.release(ev.payload);
+  }
+}
+
 Duration Simulator::draw_latency() {
   if (config_.latency_max == config_.latency_min) return config_.latency_min;
   return config_.latency_min +
@@ -463,51 +574,71 @@ Duration Simulator::draw_latency() {
              config_.latency_max - config_.latency_min + 1)));
 }
 
-TimePoint Simulator::arrival_time(Link& link) {
+TimePoint Simulator::arrival_time(LinkData& link) {
   TimePoint at = now_ + draw_latency();
   if (link.last_arrival > at) at = link.last_arrival;
   link.last_arrival = at;
   return at;
 }
 
-Simulator::Link& Simulator::link_add(std::vector<Link>& links,
-                                     std::uint32_t peer) {
-  if (Link* existing = link_find(links, peer); existing != nullptr) {
-    return *existing;
+std::size_t Simulator::link_slot(const SimNode& node, std::uint32_t peer) {
+  if (node.link_index.empty()) {
+    const auto it =
+        std::find(node.link_peers.begin(), node.link_peers.end(), peer);
+    return it == node.link_peers.end()
+               ? kNoLink
+               : static_cast<std::size_t>(it - node.link_peers.begin());
   }
-  if (links.capacity() == 0) links.reserve(8);
-  links.push_back(Link{peer, next_link_gen_++, /*last_arrival=*/0});
-  return links.back();
+  const std::uint32_t* slot = node.link_index.find(peer);
+  return slot == nullptr ? kNoLink : *slot;
 }
 
-void Simulator::link_remove(std::vector<Link>& links, std::uint32_t peer) {
-  const auto it =
-      std::find_if(links.begin(), links.end(),
-                   [&](const Link& l) { return l.peer == peer; });
-  if (it != links.end()) {
-    *it = links.back();
-    links.pop_back();
+std::size_t Simulator::link_add(SimNode& node, std::uint32_t peer) {
+  if (const std::size_t existing = link_slot(node, peer);
+      existing != kNoLink) {
+    return existing;
   }
+  if (node.link_peers.capacity() == 0) {
+    node.link_peers.reserve(8);
+    node.link_data.reserve(8);
+  }
+  if (!node.link_index.empty()) {
+    node.link_index.insert(
+        peer, static_cast<std::uint32_t>(node.link_peers.size()));
+  } else if (node.link_peers.size() + 1 > kLinkIndexThreshold) {
+    // The table outgrew scanning: index everything, new entry included.
+    node.link_index.reserve(node.link_peers.size() + 1);
+    for (std::size_t i = 0; i < node.link_peers.size(); ++i) {
+      node.link_index.insert(node.link_peers[i],
+                             static_cast<std::uint32_t>(i));
+    }
+    node.link_index.insert(
+        peer, static_cast<std::uint32_t>(node.link_peers.size()));
+  }
+  node.link_peers.push_back(peer);
+  node.link_data.push_back(LinkData{next_link_gen_++, /*last_arrival=*/0});
+  return node.link_peers.size() - 1;
 }
 
-Simulator::Link* Simulator::link_find(std::vector<Link>& links,
-                                      std::uint32_t peer) {
-  const auto it =
-      std::find_if(links.begin(), links.end(),
-                   [&](const Link& l) { return l.peer == peer; });
-  return it == links.end() ? nullptr : &*it;
+void Simulator::link_remove(SimNode& node, std::uint32_t peer) {
+  const std::size_t i = link_slot(node, peer);
+  if (i == kNoLink) return;
+  if (!node.link_index.empty()) {
+    node.link_index.erase(peer);
+    if (i + 1 != node.link_peers.size()) {
+      // Swap-remove: re-point the moved entry's index at its new slot.
+      node.link_index.insert(node.link_peers.back(),
+                             static_cast<std::uint32_t>(i));
+    }
+  }
+  node.link_peers[i] = node.link_peers.back();
+  node.link_data[i] = node.link_data.back();
+  node.link_peers.pop_back();
+  node.link_data.pop_back();
 }
 
-const Simulator::Link* Simulator::link_find(const std::vector<Link>& links,
-                                            std::uint32_t peer) {
-  const auto it =
-      std::find_if(links.begin(), links.end(),
-                   [&](const Link& l) { return l.peer == peer; });
-  return it == links.end() ? nullptr : &*it;
-}
-
-bool Simulator::link_has(const std::vector<Link>& links, std::uint32_t peer) {
-  return link_find(links, peer) != nullptr;
+bool Simulator::link_has(const SimNode& node, std::uint32_t peer) {
+  return link_slot(node, peer) != kNoLink;
 }
 
 }  // namespace hyparview::sim

@@ -23,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "hyparview/common/flat_hash.hpp"
 #include "hyparview/common/node_id.hpp"
 #include "hyparview/common/rng.hpp"
 #include "hyparview/common/time.hpp"
@@ -82,13 +83,17 @@ class Simulator {
   void crash(const NodeId& id);
 
   /// Marks a node *blocked* (slow consumer, §5.5): it stays alive but stops
-  /// processing. Inbound messages queue up to `link_send_buffer` per sender;
-  /// beyond that the sender gets a send failure, which reactive protocols
-  /// treat exactly like a crash (the node is expelled from active views).
+  /// processing — uniformly inert. It initiates nothing (sends, dials and
+  /// teardowns never leave the frozen application) and its timers are
+  /// missed; network-delivered events (messages, send-failure reports,
+  /// connect results, link closes) buffer in its inbox instead. Inbound
+  /// messages queue up to `link_send_buffer` per sender; beyond that the
+  /// sender gets a send failure, which reactive protocols treat exactly
+  /// like a crash (the node is expelled from active views).
   void block(const NodeId& id);
 
-  /// Unblocks a node: queued messages are delivered (in arrival order) and
-  /// it resumes normal operation.
+  /// Unblocks a node: queued events are replayed (in arrival order) and it
+  /// resumes normal operation.
   void unblock(const NodeId& id);
 
   [[nodiscard]] bool blocked(const NodeId& id) const;
@@ -126,6 +131,22 @@ class Simulator {
 
   /// Processes events until the queue is empty. Returns events processed.
   std::uint64_t run_until_quiescent();
+
+  /// Sequence number the next pushed event will receive. Take this
+  /// *before* injecting work (a join, a broadcast) to obtain a watermark
+  /// for run_until_quiescent_from().
+  [[nodiscard]] std::uint64_t next_event_seq() const { return next_seq_; }
+
+  /// Bounded drain: processes events until every event with
+  /// seq >= `watermark` — including the cascades they spawn — has been
+  /// dispatched. Events scheduled *before* the watermark (e.g. long-delay
+  /// timers from earlier activity) stay queued unless they fall due before
+  /// the watermarked traffic settles. With an empty pre-existing queue this
+  /// is event-for-event identical to run_until_quiescent(); the point is
+  /// incremental quiescence when the queue is NOT empty — the harness
+  /// bootstrap drains each join's own traffic without being forced to
+  /// retire unrelated pending work. Returns events processed.
+  std::uint64_t run_until_quiescent_from(std::uint64_t watermark);
 
   /// Processes a single event. Returns false if the queue was empty.
   bool step();
@@ -186,11 +207,22 @@ class Simulator {
     std::uint32_t node = 0;  ///< event target node index
     std::uint32_t peer = 0;  ///< other endpoint where applicable
     /// Slot index into the pool selected by `kind` (kDeliver/kSendFailed →
-    /// message pool, kTask → task pool, kConnectResult → connect pool);
-    /// kNoSlot when the event carries no payload.
+    /// gossip or message pool per `gossip`, kTask → task pool,
+    /// kConnectResult → connect pool); kNoSlot when the event carries no
+    /// payload.
     std::uint32_t payload = kNoSlot;
     EventKind kind = EventKind::kTask;
-    bool ok = false;  ///< kLinkClosed: forced replay from a drained inbox
+    /// kConnectResult replay: the handshake outcome recorded when the
+    /// original result reached the then-blocked node.
+    bool ok = false;
+    /// kDeliver/kSendFailed: payload lives in the POD gossip pool instead
+    /// of the generic variant pool. Gossip frames are the broadcast hot
+    /// path — storing them as PODs skips the 20-alternative variant
+    /// move/reset dispatch on every send and delivery.
+    bool gossip = false;
+    /// Forced replay from a drained inbox (unblock): skips the checks and
+    /// counters that already ran at the original dispatch.
+    bool replay = false;
   };
   static_assert(std::is_trivially_copyable_v<Event>);
 
@@ -201,25 +233,37 @@ class Simulator {
     }
   };
 
+  /// One event buffered in a blocked node's inbox. A frozen application
+  /// misses its timers, but everything the *network* hands it — message
+  /// deliveries, send-failure reports, connect results, link closes — is a
+  /// kernel-level fact that waits for the process to resume; dropping any
+  /// of these would silently wedge protocol state machines that await a
+  /// completion (e.g. HyParView's promotion episode).
   struct QueuedMessage {
-    std::uint32_t from = 0;
-    wire::Message msg;
-    bool is_close = false;  ///< a buffered link-closed notification
+    enum class Kind : std::uint8_t {
+      kDeliver,
+      kClose,
+      kSendFailed,
+      kConnectResult,
+    };
+    Kind kind = Kind::kDeliver;
+    std::uint32_t from = 0;          ///< the peer involved
+    wire::Message msg;               ///< kDeliver / kSendFailed payload
+    membership::ConnectCallback cb;  ///< kConnectResult
+    bool ok = false;                 ///< kConnectResult: handshake outcome
   };
 
-  /// One endpoint's half of an open connection.
-  struct Link {
-    std::uint32_t peer = 0;
+  /// Per-connection state (parallel to SimNode::link_peers).
+  struct LinkData {
     std::uint64_t gen = 0;  ///< connection-instance identity
     /// Latest scheduled arrival of traffic this node sent over this link
     /// (FIFO clamp: TCP stream order *per connection instance*). Lives here
-    /// instead of a global hash map so the per-send lookup is the same
-    /// cache line the send already touched for the link check. Ordering is
-    /// deliberately NOT guaranteed across a teardown + re-establishment —
-    /// real TCP gives no cross-connection ordering either, and the
-    /// protocols handle such races explicitly (HyParView's asymmetry
-    /// healing); in-flight data of a torn-down link still delivers, as it
-    /// always has in this simulator.
+    /// instead of a global hash map so the per-send lookup touches only
+    /// this node's table. Ordering is deliberately NOT guaranteed across a
+    /// teardown + re-establishment — real TCP gives no cross-connection
+    /// ordering either, and the protocols handle such races explicitly
+    /// (HyParView's asymmetry healing); in-flight data of a torn-down link
+    /// still delivers, as it always has in this simulator.
     TimePoint last_arrival = 0;
   };
 
@@ -227,7 +271,19 @@ class Simulator {
     Handler* handler = nullptr;
     bool alive = true;
     bool blocked = false;
-    std::vector<Link> links;           ///< open connections (symmetric)
+    /// Open connections (symmetric), structure-of-arrays: the peer ids are
+    /// scanned on every send, so they live in their own dense u32 array
+    /// (a 100-link table is ~7 cache lines instead of ~40); gen/arrival
+    /// state is only touched after a hit.
+    std::vector<std::uint32_t> link_peers;
+    std::vector<LinkData> link_data;  ///< parallel to link_peers
+    /// peer → slot in link_peers, maintained only once the table outgrows
+    /// kLinkIndexThreshold (invariant: empty, or exactly mirrors
+    /// link_peers). Small tables are faster to scan than to hash; a
+    /// well-connected node — a bootstrap contact at 10k scale holds a link
+    /// to nearly everyone — would otherwise pay a linear scan on *every*
+    /// send, the harness's "quadratic-ish" bootstrap constant.
+    FlatMap<std::uint32_t, std::uint32_t> link_index;
     std::vector<QueuedMessage> inbox;  ///< buffered while blocked
     std::unique_ptr<membership::Env> env;
   };
@@ -243,16 +299,26 @@ class Simulator {
   void dispatch(Event& ev);
   Duration draw_latency();
 
+  /// Moves a kDeliver/kSendFailed payload out of its pool (see Event::gossip).
+  wire::Message take_message(const Event& ev);
+  /// Releases such a payload without materializing it (dropped events).
+  void release_message(const Event& ev);
+
   /// Delivery time respecting per-link FIFO (TCP stream order): clamps to
   /// the link's last scheduled arrival and advances it.
-  TimePoint arrival_time(Link& link);
+  TimePoint arrival_time(LinkData& link);
 
-  Link& link_add(std::vector<Link>& links, std::uint32_t peer);
-  static void link_remove(std::vector<Link>& links, std::uint32_t peer);
-  static Link* link_find(std::vector<Link>& links, std::uint32_t peer);
-  static const Link* link_find(const std::vector<Link>& links,
-                               std::uint32_t peer);
-  static bool link_has(const std::vector<Link>& links, std::uint32_t peer);
+  /// Link-table size beyond which the per-node peer→slot index kicks in.
+  static constexpr std::size_t kLinkIndexThreshold = 128;
+  /// "No such link" slot sentinel.
+  static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+
+  /// Slot of `peer` in node.link_peers, or kNoLink.
+  static std::size_t link_slot(const SimNode& node, std::uint32_t peer);
+  /// Adds a link to `peer` if absent; returns its slot either way.
+  std::size_t link_add(SimNode& node, std::uint32_t peer);
+  static void link_remove(SimNode& node, std::uint32_t peer);
+  static bool link_has(const SimNode& node, std::uint32_t peer);
 
   SimConfig config_;
   Rng master_rng_;
@@ -260,12 +326,20 @@ class Simulator {
   std::vector<SimNode> nodes_;
   MinHeap<Event, EventLess> queue_;
   /// Payload slabs, free-list recycled (see slot_pool.hpp). One per payload
-  /// kind so slots are homogeneous and reuse is exact.
+  /// kind so slots are homogeneous and reuse is exact. Gossip frames get
+  /// their own POD slab (Event::gossip) — they dominate broadcast traffic.
   SlotPool<wire::Message> messages_;
+  SlotPool<wire::Gossip> gossips_;
   SlotPool<membership::TaskCallback> tasks_;
   SlotPool<membership::ConnectCallback> connects_;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
+  /// Bounded-drain bookkeeping (run_until_quiescent_from): while a bounded
+  /// drain is active, every push necessarily carries seq >= the watermark,
+  /// so a simple balance counter tracks the outstanding watermarked events.
+  bool bounded_drain_active_ = false;
+  std::uint64_t bounded_watermark_ = 0;
+  std::uint64_t bounded_pending_ = 0;
   std::uint64_t next_link_gen_ = 1;
   std::size_t alive_count_ = 0;
   std::uint64_t events_processed_ = 0;

@@ -1,0 +1,81 @@
+// Direct tests for the contract-check macros (ROADMAP gap: common/assert
+// was only exercised indirectly). Death tests pin the abort path and its
+// diagnostic format; the NDEBUG behavior of HPV_ASSERT is verified in
+// whichever mode this binary was compiled (both branches are covered across
+// the CI matrix: RelWithDebInfo defines NDEBUG, the sanitizer Debug build
+// does not).
+#include "hyparview/common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hyparview {
+namespace {
+
+TEST(AssertTest, CheckPassesOnTrue) {
+  int evaluations = 0;
+  HPV_CHECK((++evaluations, true));
+  EXPECT_EQ(evaluations, 1);  // evaluated exactly once
+}
+
+TEST(AssertDeathTest, CheckAbortsOnFalseWithDiagnostic) {
+  EXPECT_DEATH(HPV_CHECK(1 + 1 == 3), "HPV_CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(AssertDeathTest, CheckDiagnosticNamesFile) {
+  EXPECT_DEATH(HPV_CHECK(false), "assert_test\\.cpp");
+}
+
+TEST(AssertTest, CheckThrowPassesOnTrue) {
+  EXPECT_NO_THROW(HPV_CHECK_THROW(true, "unused"));
+}
+
+TEST(AssertTest, CheckThrowThrowsCheckErrorWithMessage) {
+  EXPECT_THROW(
+      {
+        try {
+          HPV_CHECK_THROW(false, "bad config value");
+        } catch (const CheckError& e) {
+          EXPECT_STREQ(e.what(), "bad config value");
+          throw;
+        }
+      },
+      CheckError);
+}
+
+TEST(AssertTest, CheckErrorIsARuntimeError) {
+  // Callers catch std::runtime_error / std::exception at API boundaries.
+  const CheckError err("boom");
+  const std::runtime_error& base = err;
+  EXPECT_EQ(std::string(base.what()), "boom");
+}
+
+#ifdef NDEBUG
+
+TEST(AssertTest, AssertIsCompiledOutUnderNdebug) {
+  // The expression must not even be evaluated: HPV_ASSERT expands to
+  // ((void)0), so side effects vanish (guards may therefore never carry
+  // side effects the release build relies on).
+  int evaluations = 0;
+  HPV_ASSERT((++evaluations, true));
+  HPV_ASSERT((++evaluations, false));  // would abort in debug builds
+  EXPECT_EQ(evaluations, 0);
+}
+
+#else
+
+TEST(AssertTest, AssertEvaluatesAndPassesInDebug) {
+  int evaluations = 0;
+  HPV_ASSERT((++evaluations, true));
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(AssertDeathTest, AssertAbortsOnFalseInDebug) {
+  EXPECT_DEATH(HPV_ASSERT(false), "HPV_ASSERT failed: false");
+}
+
+#endif
+
+}  // namespace
+}  // namespace hyparview

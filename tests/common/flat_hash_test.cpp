@@ -1,0 +1,135 @@
+#include "hyparview/common/flat_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hyparview/common/rng.hpp"
+
+namespace hyparview {
+namespace {
+
+TEST(FlatMapTest, EmptyMapFindsNothing) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+  EXPECT_FALSE(map.contains(42));
+  EXPECT_FALSE(map.erase(42));
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<std::uint64_t, int> map;
+  map.insert(1, 10);
+  map.insert(2, 20);
+  ASSERT_NE(map.find(1), nullptr);
+  EXPECT_EQ(*map.find(1), 10);
+  EXPECT_EQ(*map.find(2), 20);
+  EXPECT_EQ(map.find(3), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_EQ(*map.find(2), 20);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, InsertOverwritesExistingKey) {
+  FlatMap<std::uint32_t, std::uint32_t> map;
+  map.insert(7, 1);
+  map.insert(7, 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.find(7), 2u);
+}
+
+TEST(FlatMapTest, GrowsPastInitialCapacity) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) map.insert(k, k * 3);
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k * 3);
+  }
+}
+
+TEST(FlatMapTest, ReservePreventsRehash) {
+  FlatMap<std::uint64_t, int> map;
+  map.reserve(100);
+  const std::size_t cap = map.capacity();
+  EXPECT_GE(cap, 100u);
+  for (std::uint64_t k = 0; k < 100; ++k) map.insert(k, 0);
+  EXPECT_EQ(map.capacity(), cap);  // no growth happened
+}
+
+TEST(FlatMapTest, ClearKeepsCapacity) {
+  FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 50; ++k) map.insert(k, 1);
+  const std::size_t cap = map.capacity();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.find(10), nullptr);
+  map.insert(10, 2);
+  EXPECT_EQ(*map.find(10), 2);
+}
+
+TEST(FlatMapTest, EraseKeepsProbeChainsReachable) {
+  // Backward-shift deletion: erasing from the middle of a probe chain must
+  // not orphan entries that probed past the erased slot. Dense sequential
+  // keys force shared chains at small table sizes.
+  FlatMap<std::uint32_t, std::uint32_t> map;
+  for (std::uint32_t k = 0; k < 12; ++k) map.insert(k, k);
+  for (std::uint32_t victim = 0; victim < 12; victim += 3) {
+    EXPECT_TRUE(map.erase(victim));
+  }
+  for (std::uint32_t k = 0; k < 12; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_EQ(map.find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(map.find(k), nullptr) << k;
+      EXPECT_EQ(*map.find(k), k);
+    }
+  }
+}
+
+TEST(FlatMapTest, RandomizedAgainstUnorderedMapReference) {
+  Rng rng(2024);
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng.below(512);  // small key space → collisions
+    switch (rng.below(3)) {
+      case 0: {
+        const std::uint64_t value = rng.next();
+        map.insert(key, value);
+        ref[key] = value;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {
+        const auto it = ref.find(key);
+        const std::uint64_t* found = map.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  // Full sweep at the end.
+  for (const auto& [key, value] : ref) {
+    ASSERT_NE(map.find(key), nullptr);
+    EXPECT_EQ(*map.find(key), value);
+  }
+}
+
+}  // namespace
+}  // namespace hyparview

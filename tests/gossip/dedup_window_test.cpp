@@ -1,0 +1,91 @@
+#include "hyparview/gossip/dedup_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_set>
+
+#include "hyparview/common/rng.hpp"
+
+namespace hyparview::gossip {
+namespace {
+
+TEST(DedupWindowTest, FirstSightingIsNewSecondIsDuplicate) {
+  DedupWindow w(8);
+  EXPECT_TRUE(w.remember(42));
+  EXPECT_FALSE(w.remember(42));
+  EXPECT_TRUE(w.contains(42));
+  EXPECT_FALSE(w.contains(43));
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(DedupWindowTest, EvictsOldestInFifoOrder) {
+  DedupWindow w(4);
+  for (std::uint64_t id = 1; id <= 4; ++id) EXPECT_TRUE(w.remember(id));
+  EXPECT_EQ(w.size(), 4u);
+  // 5 evicts 1; 6 evicts 2.
+  EXPECT_TRUE(w.remember(5));
+  EXPECT_FALSE(w.contains(1));
+  EXPECT_TRUE(w.contains(2));
+  EXPECT_TRUE(w.remember(6));
+  EXPECT_FALSE(w.contains(2));
+  for (std::uint64_t id = 3; id <= 6; ++id) EXPECT_TRUE(w.contains(id));
+  EXPECT_EQ(w.size(), 4u);
+  // An evicted id is treated as new again (window semantics).
+  EXPECT_TRUE(w.remember(1));
+}
+
+TEST(DedupWindowTest, DuplicateDoesNotEvict) {
+  DedupWindow w(2);
+  EXPECT_TRUE(w.remember(1));
+  EXPECT_TRUE(w.remember(2));
+  // Re-remembering 2 must not push 1 out.
+  EXPECT_FALSE(w.remember(2));
+  EXPECT_TRUE(w.contains(1));
+}
+
+TEST(DedupWindowTest, CapacityOne) {
+  DedupWindow w(1);
+  EXPECT_TRUE(w.remember(1));
+  EXPECT_FALSE(w.remember(1));
+  EXPECT_TRUE(w.remember(2));
+  EXPECT_FALSE(w.contains(1));
+  EXPECT_TRUE(w.contains(2));
+}
+
+TEST(DedupWindowTest, ClearForgetsEverything) {
+  DedupWindow w(4);
+  w.remember(1);
+  w.remember(2);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.contains(1));
+  EXPECT_TRUE(w.remember(1));
+}
+
+TEST(DedupWindowTest, RandomizedAgainstSetPlusDequeReference) {
+  // The previous implementation (unordered_set + deque) is the semantic
+  // reference; the ring + probe table must agree id-for-id.
+  constexpr std::size_t kCapacity = 16;
+  DedupWindow w(kCapacity);
+  std::unordered_set<std::uint64_t> ref_seen;
+  std::deque<std::uint64_t> ref_order;
+  Rng rng(7);
+  for (int op = 0; op < 50000; ++op) {
+    const std::uint64_t id = rng.below(64);  // small space → many repeats
+    const bool ref_new = !ref_seen.contains(id);
+    if (ref_new) {
+      ref_seen.insert(id);
+      ref_order.push_back(id);
+      if (ref_order.size() > kCapacity) {
+        ref_seen.erase(ref_order.front());
+        ref_order.pop_front();
+      }
+    }
+    ASSERT_EQ(w.remember(id), ref_new) << "op " << op << " id " << id;
+    ASSERT_EQ(w.size(), ref_order.size());
+  }
+}
+
+}  // namespace
+}  // namespace hyparview::gossip

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "../support/fake_env.hpp"
 #include "hyparview/gossip/node_runtime.hpp"
@@ -209,6 +210,91 @@ TEST_F(GossipEngineTest, RerouteOnFailureSendsSubstitute) {
   ASSERT_EQ(sent.size(), 1u);
   EXPECT_NE(sent[0].first, nid(2));
   EXPECT_EQ(sent[0].second.msg_id, 600u);
+}
+
+TEST_F(GossipEngineTest, RerouteSubstituteIsPickedUniformlyNotFront) {
+  // Regression: the reroute path used to take candidates.front(), which in
+  // flood mode (broadcast_targets ignores the fanout argument and returns
+  // the whole view) deterministically biased every reroute in the system
+  // toward the first active-view member.
+  GossipConfig cfg;
+  cfg.mode = Mode::kFlood;
+  cfg.reroute_on_failure = true;
+  GossipEngine engine(env_, proto_, cfg, &observer_);
+  std::set<std::uint32_t> substitutes;
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    env_.sent.clear();
+    engine.on_send_failed(nid(99), wire::Gossip{700 + m, 1, 0});
+    const auto sent = env_.sent_of_type<wire::Gossip>();
+    ASSERT_EQ(sent.size(), 1u);
+    substitutes.insert(sent[0].first.ip);
+  }
+  // With 5 candidates and 32 uniform draws, seeing only one distinct
+  // substitute has probability 5 * (1/5)^32 ≈ 0 — the pre-fix code fails
+  // this deterministically (always the front candidate).
+  EXPECT_GT(substitutes.size(), 1u);
+}
+
+/// Env that reports a synchronous send failure for one victim peer — the
+/// TcpTransport dial-failure shape, where on_send_failed re-enters the
+/// engine while forward() is still iterating its target buffer.
+class SyncFailEnv final : public FakeEnv {
+ public:
+  using FakeEnv::FakeEnv;
+
+  void send(const NodeId& to, wire::Message msg) override {
+    if (engine != nullptr && to == victim && !failed_) {
+      failed_ = true;  // fail only the first attempt, like one dead dial
+      const wire::Gossip copy = std::get<wire::Gossip>(msg);
+      engine->on_send_failed(to, copy);
+      return;
+    }
+    FakeEnv::send(to, std::move(msg));
+  }
+
+  GossipEngine* engine = nullptr;
+  NodeId victim;
+
+ private:
+  bool failed_ = false;
+};
+
+TEST_F(GossipEngineTest, SynchronousMidForwardFailureDoesNotClobberTargets) {
+  // The reroute candidates must not go through targets_scratch_: a
+  // synchronous transport failure re-enters on_send_failed while forward()
+  // is mid-iteration over that buffer, and a reroute that refilled it
+  // would derail the rest of the flood. Guard the buffer-separation
+  // invariant by failing the send to nid(3) synchronously in the middle of
+  // a 5-target flood and checking the remaining targets still get their
+  // copies.
+  SyncFailEnv env(nid(0));
+  FakeProtocol proto;
+  proto.targets = {nid(1), nid(2), nid(3), nid(4), nid(5)};
+  GossipConfig cfg;
+  cfg.mode = Mode::kFlood;
+  cfg.reroute_on_failure = true;
+  GossipEngine engine(env, proto, cfg, &observer_);
+  env.engine = &engine;
+  env.victim = nid(3);
+
+  engine.broadcast(901);
+
+  // Every surviving target received its original flood copy — the
+  // re-entrant reroute did not disturb the iteration — and exactly one of
+  // them additionally got the substitute copy. peer_unreachable purged
+  // nid(3), so nothing further went to the dead peer.
+  const auto sent = env.sent_of_type<wire::Gossip>();
+  std::vector<int> copies(7, 0);
+  for (const auto& [to, g] : sent) {
+    ASSERT_EQ(g.msg_id, 901u);
+    ++copies[to.ip];
+  }
+  EXPECT_GE(copies[1], 1);
+  EXPECT_GE(copies[2], 1);
+  EXPECT_GE(copies[4], 1);
+  EXPECT_GE(copies[5], 1);
+  EXPECT_EQ(copies[3], 0);
+  EXPECT_EQ(sent.size(), 5u);  // 4 flood copies + 1 reroute substitute
 }
 
 TEST_F(GossipEngineTest, DedupWindowEviction) {

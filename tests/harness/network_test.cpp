@@ -132,6 +132,59 @@ TEST(NetworkTest, AliveMaskMatchesSimulator) {
   EXPECT_EQ(alive, net.alive_count());
 }
 
+TEST(NetworkTest, AddNodeFailsFastWhenNoAliveContactExists) {
+  // Regression: add_node used to spin forever in its contact-selection
+  // loop when the joiner was the only alive node (every draw came back as
+  // the joiner itself). It must fail fast instead.
+  auto cfg = NetworkConfig::defaults_for(ProtocolKind::kHyParView, 4, 3);
+  Network net(cfg);
+  net.build();
+  net.fail_random_fraction(1.0);
+  ASSERT_EQ(net.alive_count(), 0u);
+  EXPECT_THROW(net.add_node(), CheckError);
+  // The failed join must not have registered a zombie node.
+  EXPECT_EQ(net.node_count(), 4u);
+}
+
+TEST(NetworkTest, AddNodeStillWorksWithOneSurvivor) {
+  auto cfg = NetworkConfig::defaults_for(ProtocolKind::kHyParView, 4, 3);
+  Network net(cfg);
+  net.build();
+  // Kill everyone but node 0: the joiner's only possible contact.
+  for (std::size_t i = 1; i < net.node_count(); ++i) {
+    net.simulator().crash(net.id_of(i));
+  }
+  const std::size_t joined = net.add_node();
+  EXPECT_TRUE(net.alive(joined));
+  EXPECT_FALSE(
+      net.protocol(joined).dissemination_view().empty());
+}
+
+TEST(NetworkTest, BatchedBuildProducesAConnectedOverlay) {
+  // join_batch > 1 overlaps join traffic (bench mode): different event
+  // interleaving, same macroscopic result — every node joined, broadcast
+  // reaches everyone.
+  auto cfg = NetworkConfig::defaults_for(ProtocolKind::kHyParView, 96, 11);
+  Network net(cfg);
+  net.build(BuildOptions{/*join_batch=*/16});
+  net.run_cycles(5);
+  EXPECT_EQ(net.alive_count(), 96u);
+  EXPECT_DOUBLE_EQ(net.broadcast_one().reliability(), 1.0);
+}
+
+TEST(NetworkTest, SerialBuildIsDefaultAndMatchesExplicitBatchOne) {
+  // build() and build({.join_batch = 1}) must be bit-identical: the
+  // watermark drains degenerate to full drains on an empty queue.
+  const auto digest = [](const BuildOptions& opts) {
+    auto cfg = NetworkConfig::defaults_for(ProtocolKind::kCyclon, 64, 5);
+    Network net(cfg);
+    net.build(opts);
+    return std::pair{net.simulator().events_processed(),
+                     net.simulator().bytes_sent()};
+  };
+  EXPECT_EQ(digest(BuildOptions{}), digest(BuildOptions{1}));
+}
+
 TEST(NetworkTest, RejectsTinyNetworks) {
   auto cfg = NetworkConfig::defaults_for(ProtocolKind::kHyParView, 1, 9);
   EXPECT_THROW(Network net(cfg), CheckError);

@@ -160,5 +160,14 @@ TEST(WireTest, EncodedSizeMatchesEncodingForRandomVariableLengthMessages) {
   }
 }
 
+TEST(WireTest, GossipWireCostOverloadMatchesGenericOverload) {
+  // The fast-path overload hardcodes the Gossip frame size; it must never
+  // drift from what the generic encoder actually produces.
+  for (const std::uint32_t payload : {0u, 1u, 128u, 65536u}) {
+    const Gossip g{0x0123456789abcdefull, 7, payload};
+    EXPECT_EQ(wire_cost(g), wire_cost(Message{g})) << payload;
+  }
+}
+
 }  // namespace
 }  // namespace hyparview::wire

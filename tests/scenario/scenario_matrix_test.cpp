@@ -13,15 +13,21 @@
 //
 // Scenarios: continuous churn, mass simultaneous failure (10–80%), slow
 // (blocked) nodes, flaky links (random connection resets via
-// Simulator::drop_random_links), and latency spikes (the one-way delay
+// Simulator::drop_random_links), latency spikes (the one-way delay
 // band jumps ~100× mid-run via Simulator::set_latency, then recovers —
-// congestion events must delay but never lose traffic). HPV_QUICK=1
-// shrinks the grid to the
+// congestion events must delay but never lose traffic), asymmetric
+// partitions (every TCP connection crossing a minority/majority cut is
+// reset at once), and a combined fault (latency spike held through a churn
+// phase). The Cyclon and Scamp baselines run through a slice of the grid
+// with relaxed thresholds — they have no reactive failure detector, so the
+// invariants they can promise are weaker (and active-view symmetry is a
+// HyParView-only notion). HPV_QUICK=1 shrinks the grid to the
 // small-network slice so the `smoke` CTest tier finishes in well under a
 // minute; the full grid runs under the `scenario` label.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,17 +45,25 @@ enum class Fault : std::uint8_t {
   kSlowNodes,     ///< `intensity` of nodes stop consuming (§5.5)
   kFlakyLinks,    ///< waves of random connection resets
   kLatencySpike,  ///< one-way delay inflates ~100× mid-run, then recovers
+  kPartition,     ///< asymmetric cut: reset every link crossing a
+                  ///< minority(`intensity`)/majority split at once
+  kSpikeChurn,    ///< combined fault: ~50× latency held through churn
 };
 
 struct ScenarioCase {
   Fault fault = Fault::kMassFailure;
-  /// Fault-specific magnitude: failed/blocked/reset fraction (unused for
-  /// churn, which has its own workload shape).
+  /// Fault-specific magnitude: failed/blocked/reset/minority fraction
+  /// (unused for churn, which has its own workload shape).
   double intensity = 0.0;
   std::size_t nodes = 128;
   std::uint64_t seed = 1;
   /// Post-healing broadcast reliability floor for this cell.
   double min_reliability = 0.99;
+  /// Membership protocol under test. The baselines run with relaxed
+  /// thresholds and without the HyParView-specific symmetry check.
+  ProtocolKind kind = ProtocolKind::kHyParView;
+  /// Reliability floor for the probes *during* a churn workload.
+  double min_churn_reliability = 0.95;
 
   [[nodiscard]] std::string name() const {
     std::string fault_name;
@@ -61,14 +75,23 @@ struct ScenarioCase {
       case Fault::kSlowNodes: fault_name = "slow"; break;
       case Fault::kFlakyLinks: fault_name = "flaky"; break;
       case Fault::kLatencySpike: fault_name = "latency"; break;
+      case Fault::kPartition: fault_name = "partition"; break;
+      case Fault::kSpikeChurn: fault_name = "spikechurn"; break;
     }
-    return fault_name + "_n" + std::to_string(nodes) + "_s" +
+    std::string prefix;
+    if (kind != ProtocolKind::kHyParView) {
+      prefix = std::string(kind_name(kind)) + "_";
+      for (char& ch : prefix) ch = static_cast<char>(std::tolower(ch));
+    }
+    return prefix + fault_name + "_n" + std::to_string(nodes) + "_s" +
            std::to_string(seed);
   }
 };
 
 /// The grid. HPV_QUICK keeps one small network size and one seed per fault
 /// so the smoke tier stays fast; the full tier spans ≥ 2 sizes × 2 seeds.
+/// The Cyclon/Scamp baseline rows ride along in BOTH tiers (they are part
+/// of the smoke slice) at the smallest network size.
 std::vector<ScenarioCase> make_grid() {
   const bool quick = env_flag("HPV_QUICK", false);
   const std::vector<std::size_t> sizes =
@@ -86,7 +109,26 @@ std::vector<ScenarioCase> make_grid() {
       grid.push_back({Fault::kSlowNodes, 0.1, n, seed, 0.99});
       grid.push_back({Fault::kFlakyLinks, 0.3, n, seed, 0.99});
       grid.push_back({Fault::kLatencySpike, 100.0, n, seed, 0.99});
+      grid.push_back({Fault::kPartition, 0.125, n, seed, 0.99});
+      grid.push_back({Fault::kSpikeChurn, 50.0, n, seed, 0.99});
     }
+  }
+  // Baseline slice: no reactive failure detector, so the floors reflect
+  // what random-fanout gossip over an aging view can actually promise
+  // (paper fig. 1/2 territory, not HyParView's 100%).
+  const std::size_t base_n = sizes.front();
+  for (const std::uint64_t seed : seeds) {
+    // Plain Cyclon's post-churn floor is deliberately loose (observed
+    // 0.72–0.85 across seeds): without a failure detector, reliability
+    // after sustained churn degrades — which is the paper's very point.
+    grid.push_back({Fault::kChurn, 0.0, base_n, seed, 0.65,
+                    ProtocolKind::kCyclon, 0.80});
+    grid.push_back({Fault::kMassFailure, 0.1, base_n, seed, 0.85,
+                    ProtocolKind::kCyclon, 0.80});
+    grid.push_back({Fault::kChurn, 0.0, base_n, seed, 0.70,
+                    ProtocolKind::kScamp, 0.65});
+    grid.push_back({Fault::kMassFailure, 0.1, base_n, seed, 0.70,
+                    ProtocolKind::kScamp, 0.65});
   }
   return grid;
 }
@@ -106,8 +148,10 @@ class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioCase> {
         churn.probes_per_cycle = 1;
         const ChurnStats stats = net.run_churn(churn);
         // Reliability observed *during* churn: the paper's continuous-churn
-        // runs stay near-perfect because repair is reactive and immediate.
-        EXPECT_GT(stats.avg_reliability, 0.95) << "reliability under churn";
+        // runs stay near-perfect for HyParView because repair is reactive
+        // and immediate; the baselines only promise what view aging can.
+        EXPECT_GT(stats.avg_reliability, c.min_churn_reliability)
+            << "reliability under churn";
         break;
       }
       case Fault::kMassFailure:
@@ -148,6 +192,43 @@ class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioCase> {
         net.simulator().set_latency(sim_cfg.latency_min, sim_cfg.latency_max);
         break;
       }
+      case Fault::kPartition: {
+        // Asymmetric partition: the network cuts every TCP connection
+        // crossing a minority/majority split at once (a switch dying on
+        // one rack). Unlike a crash wave both sides stay alive, so the
+        // overlay must tear the stale links down reactively and re-merge.
+        const auto minority = std::max<std::size_t>(
+            1, static_cast<std::size_t>(c.intensity *
+                                        static_cast<double>(c.nodes)));
+        for (std::size_t i = 0; i < minority; ++i) {
+          for (std::size_t j = minority; j < net.node_count(); ++j) {
+            if (net.simulator().linked(net.id_of(i), net.id_of(j))) {
+              net.simulator().drop_link(net.id_of(i), net.id_of(j));
+            }
+          }
+        }
+        net.simulator().run_until_quiescent();
+        break;
+      }
+      case Fault::kSpikeChurn: {
+        // Combined fault: the latency spike is *held* through a churn
+        // phase (congestion during a deploy wave), then lifted. Slow but
+        // lossless links must not break the join/leave/repair machinery.
+        const auto& sim_cfg = net.config().sim;
+        const auto factor = static_cast<std::int64_t>(c.intensity);
+        net.simulator().set_latency(sim_cfg.latency_min * factor,
+                                    sim_cfg.latency_max * factor);
+        ChurnConfig churn;
+        churn.cycles = 5;
+        churn.joins_per_cycle = std::max<std::size_t>(1, c.nodes / 32);
+        churn.leaves_per_cycle = churn.joins_per_cycle;
+        churn.probes_per_cycle = 1;
+        const ChurnStats spiked = net.run_churn(churn);
+        EXPECT_GT(spiked.avg_reliability, c.min_churn_reliability)
+            << "reliability under churn during the latency spike";
+        net.simulator().set_latency(sim_cfg.latency_min, sim_cfg.latency_max);
+        break;
+      }
     }
     // Healing phase: a burst of traffic exercises the reactive repair path
     // (detect-on-send failure detector), then two membership rounds let the
@@ -166,8 +247,7 @@ class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioCase> {
 
 TEST_P(ScenarioMatrixTest, InvariantsHoldAfterFaultAndHealing) {
   const ScenarioCase c = GetParam();
-  auto cfg = NetworkConfig::defaults_for(ProtocolKind::kHyParView, c.nodes,
-                                         c.seed);
+  auto cfg = NetworkConfig::defaults_for(c.kind, c.nodes, c.seed);
   Network net(cfg);
   net.build();
   net.run_cycles(10);
@@ -206,13 +286,17 @@ TEST_P(ScenarioMatrixTest, InvariantsHoldAfterFaultAndHealing) {
   // --- Connectivity among survivors -------------------------------------
   // alive_only strips every edge incident to a dead node, leaving dead
   // vertices isolated — they cannot affect the largest component.
+  const double wcc_floor = c.kind == ProtocolKind::kHyParView ? 0.99 : 0.95;
   const auto g = net.dissemination_graph(/*alive_only=*/true);
   EXPECT_GE(graph::largest_weakly_connected_component(g),
             static_cast<std::size_t>(
-                0.99 * static_cast<double>(net.alive_count())))
+                wcc_floor * static_cast<double>(net.alive_count())))
       << "surviving overlay partitioned";
 
   // --- Active-view symmetry ---------------------------------------------
+  // A HyParView-only invariant (§3): Cyclon/Scamp views are directed by
+  // design, so the baselines skip it.
+  if (c.kind != ProtocolKind::kHyParView) return;
   // Checked over responsive nodes; entries pointing at dead/blocked peers
   // are the failure detector's job and are already bounded by the
   // reliability check above.

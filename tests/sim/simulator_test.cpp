@@ -199,6 +199,96 @@ TEST_F(SimulatorTest, CrashedNodeSendsNothing) {
   EXPECT_EQ(sim.messages_sent(), 0u);
 }
 
+// --- Blocked (slow) node semantics: uniformly inert -------------------------
+// A frozen process must not initiate anything: do_send already refused, and
+// these pin the dial-out paths to the same rule (regression tests for the
+// blocked-node inconsistency where a blocked node could still connect() and
+// have connect callbacks fire while its timers were dropped). Completions
+// the *network* hands a blocked node are the flip side: they buffer and
+// replay on unblock — dropping them would silently wedge protocol state
+// machines waiting on a dial or send outcome.
+
+TEST_F(SimulatorTest, BlockedNodeCannotDialOut) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.block(a);
+  bool called = false;
+  sim.env(a).connect(b, [&](bool) { called = true; });
+  sim.run_until_quiescent();
+  EXPECT_FALSE(called) << "a frozen process reached its dial loop";
+  EXPECT_FALSE(sim.linked(a, b));
+  EXPECT_EQ(sim.connections_opened(), 0u);
+  // The dial never left the frozen process, so unblocking resurrects
+  // nothing.
+  sim.unblock(a);
+  sim.run_until_quiescent();
+  EXPECT_FALSE(called);
+  EXPECT_FALSE(sim.linked(a, b));
+}
+
+TEST_F(SimulatorTest, ConnectResultBuffersWhileBlockedAndReplaysOnUnblock) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  bool called = false;
+  bool result = false;
+  sim.env(a).connect(b, [&](bool ok) {
+    called = true;
+    result = ok;
+  });
+  sim.block(a);  // freezes after dialing, before the result arrives
+  sim.run_until_quiescent();
+  // The kernel completed the handshake (the link exists) but the frozen
+  // application has not observed the completion yet.
+  EXPECT_FALSE(called);
+  EXPECT_TRUE(sim.linked(a, b));
+  sim.unblock(a);
+  sim.run_until_quiescent();
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(result);
+}
+
+TEST_F(SimulatorTest, SendFailureBuffersWhileBlockedAndReplaysOnUnblock) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.crash(b);
+  sim.env(a).send(b, wire::Join{});
+  sim.block(a);  // freezes before the RST comes back
+  sim.run_until_quiescent();
+  EXPECT_TRUE(ha.failures.empty());
+  EXPECT_EQ(sim.sends_failed(), 1u);  // counted when the RST arrived
+  sim.unblock(a);
+  sim.run_until_quiescent();
+  ASSERT_EQ(ha.failures.size(), 1u);
+  EXPECT_EQ(ha.failures[0].to, b);
+  EXPECT_EQ(sim.sends_failed(), 1u);  // the replay is not double-counted
+}
+
+TEST_F(SimulatorTest, BlockedNodeStillAcceptsInboundDials) {
+  // Blocking freezes the application, not the peer's kernel handshake: an
+  // inbound dial from a live node still succeeds (§5.5 — senders only give
+  // up once the flow-control window toward the frozen node fills).
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  sim.block(b);
+  bool ok = false;
+  sim.env(a).connect(b, [&](bool result) { ok = result; });
+  sim.run_until_quiescent();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(sim.linked(a, b));
+}
+
 TEST_F(SimulatorTest, ConnectToAliveSucceeds) {
   Simulator sim(config_);
   RecordingHandler h;
@@ -347,6 +437,89 @@ TEST_F(SimulatorTest, ConnectionCounterCountsEstablishmentsOnce) {
   sim.env(a).send(c, wire::Join{});
   sim.run_until_quiescent();
   EXPECT_EQ(sim.connections_opened(), 2u);
+}
+
+// --- Bounded (watermark) drains ---------------------------------------------
+
+TEST_F(SimulatorTest, BoundedDrainRetiresWatermarkedCascades) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  const std::uint64_t mark = sim.next_event_seq();
+  sim.env(a).send(b, wire::Join{});
+  const std::uint64_t processed = sim.run_until_quiescent_from(mark);
+  EXPECT_EQ(processed, 1u);
+  ASSERT_EQ(hb.deliveries.size(), 1u);
+  EXPECT_TRUE(sim.queue_empty());
+}
+
+TEST_F(SimulatorTest, BoundedDrainLeavesPreWatermarkEventsQueued) {
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  // A long-delay timer scheduled before the watermark must survive the
+  // bounded drain untouched (that is the whole point: incremental
+  // quiescence does not retire unrelated pending work).
+  int timer_runs = 0;
+  sim.env(a).schedule(milliseconds(100), [&] { ++timer_runs; });
+  const std::uint64_t mark = sim.next_event_seq();
+  sim.env(a).send(b, wire::Join{});
+  sim.run_until_quiescent_from(mark);
+  EXPECT_EQ(hb.deliveries.size(), 1u);
+  EXPECT_EQ(timer_runs, 0);
+  EXPECT_FALSE(sim.queue_empty());
+  sim.run_until_quiescent();
+  EXPECT_EQ(timer_runs, 1);
+}
+
+TEST_F(SimulatorTest, BoundedDrainRunsEarlierEventsThatFallDueFirst) {
+  // A pre-watermark event due *before* the watermarked traffic settles is
+  // processed in time order (the drain never reorders the simulation); only
+  // strictly later pre-watermark events stay queued.
+  Simulator sim(config_);
+  RecordingHandler ha;
+  RecordingHandler hb;
+  const NodeId a = sim.add_node(&ha);
+  const NodeId b = sim.add_node(&hb);
+  int early = 0;
+  int late = 0;
+  sim.env(a).schedule(0, [&] { ++early; });
+  sim.env(a).schedule(milliseconds(100), [&] { ++late; });
+  const std::uint64_t mark = sim.next_event_seq();
+  sim.env(a).send(b, wire::Join{});  // delivers within [0.5ms, 1.5ms]
+  sim.run_until_quiescent_from(mark);
+  EXPECT_EQ(early, 1);
+  EXPECT_EQ(late, 0);
+  EXPECT_EQ(hb.deliveries.size(), 1u);
+}
+
+TEST_F(SimulatorTest, BoundedDrainMatchesFullDrainOnEmptyQueue) {
+  // With an empty pre-existing queue the bounded drain is event-for-event
+  // identical to run_until_quiescent() — the property Network::build relies
+  // on to keep the serial bootstrap bit-identical.
+  auto run_digest = [&](bool bounded) {
+    Simulator sim(config_);
+    RecordingHandler ha;
+    RecordingHandler hb;
+    const NodeId a = sim.add_node(&ha);
+    const NodeId b = sim.add_node(&hb);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const std::uint64_t mark = sim.next_event_seq();
+      sim.env(a).send(b, wire::Gossip{i, 0, 0});
+      sim.env(b).send(a, wire::Gossip{100 + i, 0, 0});
+      if (bounded) {
+        sim.run_until_quiescent_from(mark);
+      } else {
+        sim.run_until_quiescent();
+      }
+    }
+    return std::pair{sim.now(), sim.messages_delivered()};
+  };
+  EXPECT_EQ(run_digest(true), run_digest(false));
 }
 
 TEST_F(SimulatorTest, DeterministicAcrossRuns) {

@@ -10,7 +10,9 @@
 
 namespace hyparview::test {
 
-class FakeEnv final : public membership::Env {
+// Not final: tests derive fault-injecting variants (e.g. synchronous send
+// failures mimicking TcpTransport dial errors).
+class FakeEnv : public membership::Env {
  public:
   struct SentMessage {
     NodeId to;
