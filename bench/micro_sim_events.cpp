@@ -1,6 +1,6 @@
 // Microbenchmark + invariant check for the simulator event pipeline.
 //
-// Three claims are verified, not just measured:
+// Five claims are verified, not just measured:
 //  1. steady-state message delivery (the dissemination hot path: send →
 //     queue → deliver → re-send) performs ZERO heap allocations per event —
 //     the slim-POD event queue and the free-list payload pools recycle
@@ -10,7 +10,14 @@
 //  3. the full broadcast pipeline — gossip dedup window, per-node
 //     forwarding buffers, broadcast recorder — is allocation-free once the
 //     dedup windows are saturated and the recorder storage is reserved
-//     (DedupWindow ring + probe table, BroadcastRecorder::reserve).
+//     (DedupWindow ring + probe table, BroadcastRecorder::reserve);
+//  4. the shuffle wire path — flat SHUFFLE frames relayed through the POD
+//     message slab — moves frames with plain bounded copies, zero
+//     allocations per hop (the old vector-payload frames allocated on
+//     every relay);
+//  5. full HyParView membership rounds (shuffle walks, replies, passive
+//     integration, promotion episodes) run allocation-free end to end once
+//     the protocol scratch buffers and slabs are warm.
 //
 // The binary exits non-zero if any steady-state phase allocates, so it
 // doubles as a CI regression gate (wired into CTest under the smoke label).
@@ -80,6 +87,35 @@ class PingPong final : public membership::Endpoint {
     const auto& gossip = std::get<wire::Gossip>(msg);
     wire::Gossip next = gossip;
     next.hops = static_cast<std::uint16_t>(gossip.hops + 1);
+    env_.send(peer_, next);
+  }
+
+  void send_failed(const NodeId&, const wire::Message&) override {}
+  void link_closed(const NodeId&) override {}
+
+  void reset(std::uint64_t exchanges) { remaining_ = exchanges; }
+
+ private:
+  membership::Env& env_;
+  NodeId peer_;
+  std::uint64_t remaining_;
+};
+
+/// Endpoint that relays every delivered SHUFFLE frame back to the peer —
+/// a frame copy plus a send, exactly the shape of HyParView's walk relay —
+/// until `remaining` runs out. Exercises the flat-frame slab path (put /
+/// take of a max-capacity bounded node-list) once per event.
+class ShufflePong final : public membership::Endpoint {
+ public:
+  ShufflePong(membership::Env& env, NodeId peer, std::uint64_t exchanges)
+      : env_(env), peer_(peer), remaining_(exchanges) {}
+
+  void deliver(const NodeId& /*from*/, const wire::Message& msg) override {
+    if (remaining_ == 0) return;
+    --remaining_;
+    const auto& shuffle = std::get<wire::Shuffle>(msg);
+    wire::Shuffle next = shuffle;  // POD copy, like a walk relay
+    next.ttl = next.ttl > 0 ? static_cast<std::uint8_t>(next.ttl - 1) : 6;
     env_.send(peer_, next);
   }
 
@@ -203,31 +239,107 @@ int run() {
               static_cast<double>(bcast_events) / bcast_seconds,
               static_cast<unsigned long long>(bcast_allocs), reliability);
 
+  // --- Phase 4: shuffle wire path --------------------------------------------
+  // Max-rate relay of flat SHUFFLE frames between two nodes: each hop reads
+  // the delivered frame, copies it (exactly what HyParView's walk relay
+  // does) and sends it on. Every event moves a bounded node-list payload
+  // through the POD message slab — the membership equivalent of phase 1.
+  ShufflePong sa(sim.env(a), b, 0);
+  ShufflePong sb(sim.env(b), a, 0);
+  sim.set_handler(a, &sa);
+  sim.set_handler(b, &sb);
+  wire::Shuffle seed_frame;
+  seed_frame.origin = a;
+  seed_frame.ttl = 6;
+  for (std::uint32_t i = 0; i < wire::kMaxShuffleEntries; ++i) {
+    seed_frame.entries.push_back(NodeId::from_index(i));
+  }
+  sa.reset(kWarmup);
+  sb.reset(kWarmup);
+  sim.env(a).send(b, seed_frame);
+  sim.run_until_quiescent();
+
+  const std::uint64_t shuffle_exchanges = scale.quick ? 200'000 : 2'000'000;
+  sa.reset(shuffle_exchanges);
+  sb.reset(shuffle_exchanges);
+  const std::uint64_t shuffle_allocs_before = g_allocs.load();
+  bench::Stopwatch shuffle_watch;
+  sim.env(a).send(b, seed_frame);
+  const std::uint64_t shuffle_events = sim.run_until_quiescent();
+  const double shuffle_seconds = shuffle_watch.seconds();
+  const std::uint64_t shuffle_allocs = g_allocs.load() - shuffle_allocs_before;
+
+  std::printf("shuffle path : %llu events in %.3fs (%.0f events/sec), "
+              "%llu heap allocations\n",
+              static_cast<unsigned long long>(shuffle_events), shuffle_seconds,
+              static_cast<double>(shuffle_events) / shuffle_seconds,
+              static_cast<unsigned long long>(shuffle_allocs));
+
+  // --- Phase 5: membership rounds (full HyParView protocol) ------------------
+  // Real membership cycles on a flood network: every round each node runs
+  // its periodic action — shuffle initiation, TTL walks, replies, passive
+  // integration with eviction preference, promotion episodes — and the
+  // traffic drains. After warm-up (views full, scratch vectors and slabs at
+  // steady footprint) the entire membership control plane must not touch
+  // the allocator.
+  auto memcfg = harness::NetworkConfig::defaults_for(
+      harness::ProtocolKind::kHyParView, 64, scale.seed);
+  harness::Network memnet(memcfg);
+  memnet.build();
+  memnet.run_cycles(10);
+
+  const std::size_t membership_cycles = scale.quick ? 40 : 200;
+  const std::uint64_t mem_events_before = memnet.simulator().events_processed();
+  const std::uint64_t mem_allocs_before = g_allocs.load();
+  bench::Stopwatch mem_watch;
+  memnet.run_cycles(membership_cycles);
+  const double mem_seconds = mem_watch.seconds();
+  const std::uint64_t mem_allocs = g_allocs.load() - mem_allocs_before;
+  const std::uint64_t mem_events =
+      memnet.simulator().events_processed() - mem_events_before;
+
+  std::printf("membership   : %llu events in %.3fs (%.0f events/sec), "
+              "%llu heap allocations\n",
+              static_cast<unsigned long long>(mem_events), mem_seconds,
+              static_cast<double>(mem_events) / mem_seconds,
+              static_cast<unsigned long long>(mem_allocs));
+
   bench::write_bench_json(
       "micro_sim_events", scale,
-      deliver_seconds + timer_seconds + bcast_seconds,
-      deliver_events + timer_events + bcast_events,
+      deliver_seconds + timer_seconds + bcast_seconds + shuffle_seconds +
+          mem_seconds,
+      deliver_events + timer_events + bcast_events + shuffle_events +
+          mem_events,
       {{"deliver_events_per_second",
         static_cast<double>(deliver_events) / deliver_seconds},
        {"timer_events_per_second",
         static_cast<double>(timer_events) / timer_seconds},
        {"broadcast_events_per_second",
         static_cast<double>(bcast_events) / bcast_seconds},
+       {"shuffle_events_per_second",
+        static_cast<double>(shuffle_events) / shuffle_seconds},
+       {"membership_events_per_second",
+        static_cast<double>(mem_events) / mem_seconds},
        {"deliver_allocs", static_cast<double>(deliver_allocs)},
        {"timer_allocs", static_cast<double>(timer_allocs)},
-       {"broadcast_allocs", static_cast<double>(bcast_allocs)}});
+       {"broadcast_allocs", static_cast<double>(bcast_allocs)},
+       {"shuffle_allocs", static_cast<double>(shuffle_allocs)},
+       {"membership_allocs", static_cast<double>(mem_allocs)}});
 
-  if (deliver_allocs != 0 || timer_allocs != 0 || bcast_allocs != 0) {
+  if (deliver_allocs != 0 || timer_allocs != 0 || bcast_allocs != 0 ||
+      shuffle_allocs != 0 || mem_allocs != 0) {
     std::printf("FAIL: steady-state event processing allocated "
-                "(deliver=%llu, timer=%llu, broadcast=%llu); the "
-                "zero-allocation invariant of the slim-event/slot-pool/"
-                "dedup-window design regressed.\n",
+                "(deliver=%llu, timer=%llu, broadcast=%llu, shuffle=%llu, "
+                "membership=%llu); the zero-allocation invariant of the "
+                "slim-event/slot-pool/flat-wire design regressed.\n",
                 static_cast<unsigned long long>(deliver_allocs),
                 static_cast<unsigned long long>(timer_allocs),
-                static_cast<unsigned long long>(bcast_allocs));
+                static_cast<unsigned long long>(bcast_allocs),
+                static_cast<unsigned long long>(shuffle_allocs),
+                static_cast<unsigned long long>(mem_allocs));
     return 1;
   }
-  std::printf("OK: zero heap allocations on all three steady-state paths.\n");
+  std::printf("OK: zero heap allocations on all five steady-state paths.\n");
   return 0;
 }
 

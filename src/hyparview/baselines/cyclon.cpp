@@ -12,12 +12,22 @@ void CyclonConfig::validate() const {
   HPV_CHECK_THROW(shuffle_length >= 1, "cyclon shuffle length must be >= 1");
   HPV_CHECK_THROW(shuffle_length <= view_capacity + 1,
                   "cyclon shuffle length must not exceed view capacity + 1");
+  // The exchange payload travels as a flat bounded wire frame.
+  HPV_CHECK_THROW(shuffle_length <= wire::kMaxCyclonShuffleEntries,
+                  "cyclon shuffle length exceeds the flat exchange frame "
+                  "capacity (wire::kMaxCyclonShuffleEntries)");
 }
 
 Cyclon::Cyclon(membership::Env& env, CyclonConfig config)
     : env_(env), config_(config) {
   config_.validate();
   view_.reserve(config_.view_capacity + 1);
+  target_candidates_.reserve(config_.view_capacity + 1);
+  view_ids_.reserve(config_.view_capacity + 1);
+  // sample_into() first assigns the WHOLE view into the scratch before the
+  // partial shuffle, so the reservation must cover the view, not just the
+  // exchange length.
+  sample_scratch_.reserve(config_.view_capacity + 1);
 }
 
 void Cyclon::start(std::optional<NodeId> contact) {
@@ -102,7 +112,7 @@ void Cyclon::terminate_join_walk(const NodeId& new_node) {
 
 void Cyclon::on_cycle() {
   for (auto& entry : view_) ++entry.age;
-  pending_shuffle_.reset();
+  pending_shuffle_valid_ = false;
   initiate_shuffle();
 }
 
@@ -117,40 +127,46 @@ void Cyclon::initiate_shuffle() {
   view_[oldest] = view_.back();
   view_.pop_back();
 
-  // 2. Sample l-1 other entries and prepend a fresh self entry.
-  std::vector<wire::AgedId> shipped =
-      env_.rng().sample(view_, config_.shuffle_length - 1);
-  std::vector<wire::AgedId> outgoing;
-  outgoing.reserve(shipped.size() + 1);
-  outgoing.push_back(wire::AgedId{self(), 0});
-  outgoing.insert(outgoing.end(), shipped.begin(), shipped.end());
+  // 2. Sample l-1 other entries (reused scratch) and build the flat
+  // exchange frame: a fresh self entry first, the samples after it. The
+  // shipped sample is kept as a flat list too, for the reply's
+  // integration step — the whole exchange is allocation-free.
+  env_.rng().sample_into(std::span<const wire::AgedId>(view_),
+                         config_.shuffle_length - 1, sample_scratch_);
+  wire::CyclonShuffle outgoing;
+  outgoing.entries.push_back(wire::AgedId{self(), 0});
+  for (const auto& e : sample_scratch_) outgoing.entries.push_back(e);
 
   ++stats_.shuffles_initiated;
-  pending_shuffle_ = std::move(shipped);
-  env_.send(target, wire::CyclonShuffle{std::move(outgoing)});
+  pending_shuffle_.assign(sample_scratch_);
+  pending_shuffle_valid_ = true;
+  env_.send(target, outgoing);
 }
 
 void Cyclon::handle_shuffle(const NodeId& from, const wire::CyclonShuffle& m) {
   ++stats_.shuffles_answered;
   // Answer with a random sample of our own view (no fresh self entry).
-  std::vector<wire::AgedId> reply =
-      env_.rng().sample(view_, std::min(config_.shuffle_length, m.entries.size()));
-  env_.send(from, wire::CyclonShuffleReply{reply});
-  integrate(m.entries, std::move(reply));
+  env_.rng().sample_into(std::span<const wire::AgedId>(view_),
+                         std::min(config_.shuffle_length, m.entries.size()),
+                         sample_scratch_);
+  wire::CyclonShuffleReply reply;
+  reply.entries.assign(sample_scratch_);
+  env_.send(from, reply);
+  integrate(m.entries.span(), reply.entries);
 }
 
 void Cyclon::handle_shuffle_reply(const NodeId& /*from*/,
                                   const wire::CyclonShuffleReply& m) {
-  std::vector<wire::AgedId> shipped;
-  if (pending_shuffle_.has_value()) {
-    shipped = std::move(*pending_shuffle_);
-    pending_shuffle_.reset();
+  wire::AgedList shipped;
+  if (pending_shuffle_valid_) {
+    shipped = pending_shuffle_;
+    pending_shuffle_valid_ = false;
   }
-  integrate(m.entries, std::move(shipped));
+  integrate(m.entries.span(), shipped);
 }
 
-void Cyclon::integrate(const std::vector<wire::AgedId>& received,
-                       std::vector<wire::AgedId> shipped) {
+void Cyclon::integrate(std::span<const wire::AgedId> received,
+                       wire::AgedList shipped) {
   for (const auto& entry : received) {
     if (entry.id == self() || in_view(entry.id)) continue;
     if (view_.size() < config_.view_capacity) {
@@ -158,6 +174,7 @@ void Cyclon::integrate(const std::vector<wire::AgedId>& received,
       continue;
     }
     // Replace one of the entries we shipped to the peer, if any remain.
+    // `shipped` is a by-value flat list: consuming it mutates a stack copy.
     bool replaced = false;
     while (!shipped.empty() && !replaced) {
       const NodeId victim = shipped.back().id;
@@ -193,7 +210,7 @@ void Cyclon::on_send_failed(const NodeId& to, const wire::Message& msg) {
   if (std::holds_alternative<wire::CyclonShuffle>(msg)) {
     // The shuffle target is dead. Its entry was already removed when the
     // shuffle started; Cyclon moves on to the next oldest peer.
-    pending_shuffle_.reset();
+    pending_shuffle_valid_ = false;
     if (config_.shuffle_retry_on_failure) initiate_shuffle();
     return;
   }

@@ -89,9 +89,10 @@ class Cyclon final : public membership::Protocol {
   void initiate_shuffle();
 
   /// Cyclon integration rule: skip self/known ids; fill empty slots first,
-  /// then replace the entries shipped to the peer (`shipped`).
-  void integrate(const std::vector<wire::AgedId>& received,
-                 std::vector<wire::AgedId> shipped);
+  /// then replace the entries shipped to the peer (`shipped` — a by-value
+  /// flat list consumed on the stack, never the allocator).
+  void integrate(std::span<const wire::AgedId> received,
+                 wire::AgedList shipped);
 
   [[nodiscard]] bool in_view(const NodeId& node) const;
   bool remove_entry(const NodeId& node);
@@ -101,15 +102,19 @@ class Cyclon final : public membership::Protocol {
   CyclonConfig config_;
   std::vector<wire::AgedId> view_;
 
-  /// Scratch buffers reused across calls so the dissemination hot path does
-  /// not allocate: candidate ids for broadcast_targets, and the id
-  /// projection of view_ handed out by dissemination_view().
+  /// Scratch buffers reused across calls so the dissemination AND
+  /// membership hot paths do not allocate: candidate ids for
+  /// broadcast_targets, the id projection of view_ handed out by
+  /// dissemination_view(), and the exchange-builder sample scratch.
   std::vector<NodeId> target_candidates_;
   mutable std::vector<NodeId> view_ids_;
+  std::vector<wire::AgedId> sample_scratch_;
 
   /// Entries shipped in the most recent outgoing shuffle, used when the
   /// reply arrives. (One shuffle per cycle; replies drain before the next.)
-  std::optional<std::vector<wire::AgedId>> pending_shuffle_;
+  /// Flat list + valid flag instead of optional<vector>: POD, reused.
+  wire::AgedList pending_shuffle_;
+  bool pending_shuffle_valid_ = false;
 
   CyclonStats stats_;
 };

@@ -18,11 +18,48 @@ Scamp::Scamp(membership::Env& env, ScampConfig config)
   config_.validate();
 }
 
+void Scamp::partial_push(const NodeId& node) {
+  if (!partial_index_.empty()) {
+    partial_index_.insert(node.raw(),
+                          static_cast<std::uint32_t>(partial_view_.size()));
+  } else if (partial_view_.size() + 1 > kPartialIndexThreshold) {
+    // The view outgrew scanning: index everything, new entry included.
+    partial_index_.reserve(partial_view_.size() + 1);
+    for (std::size_t i = 0; i < partial_view_.size(); ++i) {
+      partial_index_.insert(partial_view_[i].raw(),
+                            static_cast<std::uint32_t>(i));
+    }
+    partial_index_.insert(node.raw(),
+                          static_cast<std::uint32_t>(partial_view_.size()));
+  }
+  partial_view_.push_back(node);
+}
+
+bool Scamp::partial_erase(const NodeId& node) {
+  if (partial_index_.empty()) return erase_value(partial_view_, node);
+  const std::uint32_t* slot = partial_index_.find(node.raw());
+  if (slot == nullptr) return false;
+  const std::uint32_t i = *slot;
+  partial_index_.erase(node.raw());
+  if (i + 1 != partial_view_.size()) {
+    // Swap-remove: re-point the slid entry's index at its new slot.
+    partial_view_[i] = partial_view_.back();
+    partial_index_.insert(partial_view_[i].raw(), i);
+  }
+  partial_view_.pop_back();
+  return true;
+}
+
+void Scamp::partial_clear() {
+  partial_view_.clear();
+  partial_index_.clear();
+}
+
 void Scamp::start(std::optional<NodeId> contact) {
   started_ = true;
   if (!contact.has_value() || *contact == self()) return;
   // "Its PartialView initially consists of its contact."
-  partial_view_.push_back(*contact);
+  partial_push(*contact);
   env_.send(*contact, wire::ScampSubscribe{self()});
 }
 
@@ -100,16 +137,16 @@ void Scamp::handle_forwarded_sub(const wire::ScampForwardedSub& m) {
 void Scamp::keep_subscription(const NodeId& subscriber) {
   if (subscriber == self() || in_partial(subscriber)) return;
   ++stats_.forwarded_subs_kept;
-  partial_view_.push_back(subscriber);
+  partial_push(subscriber);
   env_.send(subscriber, wire::ScampInViewNotify{});
 }
 
 void Scamp::handle_replace(const NodeId& from, const wire::ScampReplace& m) {
   erase_value(in_view_, from);  // the unsubscriber leaves our InView callers
-  if (!erase_value(partial_view_, m.old_id)) return;
+  if (!partial_erase(m.old_id)) return;
   if (m.replacement != kNoNode && m.replacement != self() &&
       !in_partial(m.replacement)) {
-    partial_view_.push_back(m.replacement);
+    partial_push(m.replacement);
     env_.send(m.replacement, wire::ScampInViewNotify{});
   }
 }
@@ -127,7 +164,7 @@ void Scamp::unsubscribe() {
     }
     env_.send(in_view_[i], wire::ScampReplace{self(), replacement});
   }
-  partial_view_.clear();
+  partial_clear();
   in_view_.clear();
   started_ = false;
 }
@@ -173,19 +210,19 @@ void Scamp::broadcast_targets(std::size_t fanout, const NodeId& from,
 
 void Scamp::peer_unreachable(const NodeId& peer) {
   if (!config_.purge_on_unreachable) return;  // plain Scamp: no detector
-  erase_value(partial_view_, peer);
+  partial_erase(peer);
   erase_value(in_view_, peer);
 }
 
 void Scamp::on_send_failed(const NodeId& to, const wire::Message& msg) {
   (void)msg;
   if (!config_.purge_on_unreachable) return;
-  erase_value(partial_view_, to);
+  partial_erase(to);
   erase_value(in_view_, to);
 }
 
 void Scamp::on_link_closed(const NodeId& peer) {
-  erase_value(partial_view_, peer);
+  partial_erase(peer);
   erase_value(in_view_, peer);
 }
 
@@ -194,11 +231,6 @@ std::span<const NodeId> Scamp::dissemination_view() const {
 }
 
 std::span<const NodeId> Scamp::backup_view() const { return in_view_; }
-
-bool Scamp::in_partial(const NodeId& node) const {
-  return std::find(partial_view_.begin(), partial_view_.end(), node) !=
-         partial_view_.end();
-}
 
 bool Scamp::erase_value(std::vector<NodeId>& v, const NodeId& node) {
   const auto it = std::find(v.begin(), v.end(), node);

@@ -21,6 +21,11 @@ class BinaryWriter {
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 
+  /// Pre-sizes the buffer: with ByteCounter/encoded_size() the exact frame
+  /// size is known before encoding, so a frame can be built in a single
+  /// allocation (the TCP transport's framing path).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
   void u16(std::uint16_t v) { append(&v, sizeof(v)); }
@@ -118,13 +123,10 @@ class BinaryReader {
     return id;
   }
 
-  std::vector<NodeId> node_ids() {
-    const std::size_t n = u16();
-    std::vector<NodeId> out;
-    out.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) out.push_back(node_id());
-    return out;
-  }
+  // Note: there is deliberately no vector-returning list reader here. Wire
+  // lists are bounded (wire::FlatList); decoding goes through the
+  // capacity-checked read_node_list/read_aged_list helpers in wire.cpp so
+  // an attacker-controlled count can never size an allocation.
 
   std::string str() {
     const std::size_t n = u32();

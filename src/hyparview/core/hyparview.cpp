@@ -14,6 +14,11 @@ void Config::validate() const {
   HPV_CHECK_THROW(shuffle_ttl >= 1, "shuffle TTL must be >= 1");
   HPV_CHECK_THROW(warm_cache_size <= passive_capacity,
                   "warm cache cannot exceed the passive view");
+  // The shuffle payload (self + ka active + kp passive samples) must fit
+  // the flat bounded wire frame — see wire::kMaxShuffleEntries.
+  HPV_CHECK_THROW(1 + shuffle_ka + shuffle_kp <= wire::kMaxShuffleEntries,
+                  "1 + shuffle_ka + shuffle_kp exceeds the flat shuffle "
+                  "frame capacity (wire::kMaxShuffleEntries)");
 }
 
 HyParView::HyParView(membership::Env& env, Config config)
@@ -21,6 +26,14 @@ HyParView::HyParView(membership::Env& env, Config config)
   config_.validate();
   active_.reserve(config_.active_capacity + 1);
   passive_.reserve(config_.passive_capacity + 1);
+  // Scratch capacities: the protocol hot paths (every shuffle hop, every
+  // forward-join hop, every promotion sweep) must not allocate in steady
+  // state; each scratch is bounded by a view capacity.
+  promote_attempted_.reserve(config_.passive_capacity + 1);
+  walk_scratch_.reserve(config_.active_capacity + 1);
+  sample_scratch_.reserve(
+      std::max(config_.active_capacity, config_.passive_capacity) + 1);
+  evict_scratch_.reserve(wire::kMaxShuffleEntries);
 }
 
 void HyParView::start(std::optional<NodeId> contact) {
@@ -78,17 +91,16 @@ void HyParView::handle_forward_join(const NodeId& sender,
     return;
   }
   if (m.ttl == config_.prwl) add_to_passive(m.new_node);
-  std::vector<NodeId> candidates;
-  candidates.reserve(active_.size());
+  walk_scratch_.clear();
   for (const NodeId& n : active_) {
-    if (n != sender && n != m.new_node) candidates.push_back(n);
+    if (n != sender && n != m.new_node) walk_scratch_.push_back(n);
   }
-  if (candidates.empty()) {
+  if (walk_scratch_.empty()) {
     // Nowhere to continue the walk; act as its terminal node.
     accept_forward_join(m.new_node);
     return;
   }
-  env_.send(env_.rng().pick(candidates),
+  env_.send(env_.rng().pick(walk_scratch_),
             wire::ForwardJoin{m.new_node, static_cast<std::uint8_t>(m.ttl - 1)});
 }
 
@@ -180,18 +192,21 @@ void HyParView::leave() {
 void HyParView::do_shuffle() {
   if (active_.empty()) return;
   ++stats_.shuffles_initiated;
-  std::vector<NodeId> entries;
-  entries.reserve(1 + config_.shuffle_ka + config_.shuffle_kp);
-  entries.push_back(self());
-  for (const NodeId& n : env_.rng().sample(active_, config_.shuffle_ka)) {
-    entries.push_back(n);
-  }
-  for (const NodeId& n : env_.rng().sample(passive_, config_.shuffle_kp)) {
-    entries.push_back(n);
-  }
+  // Build the flat frame in place: self + ka active + kp passive samples.
+  // The samples land in a reused scratch vector so a node shuffling every
+  // cycle never allocates (the capacity bound is enforced at validate()).
+  wire::Shuffle shuffle;
+  shuffle.origin = self();
+  shuffle.ttl = config_.shuffle_ttl;
+  shuffle.entries.push_back(self());
+  env_.rng().sample_into(std::span<const NodeId>(active_), config_.shuffle_ka,
+                         sample_scratch_);
+  for (const NodeId& n : sample_scratch_) shuffle.entries.push_back(n);
+  env_.rng().sample_into(std::span<const NodeId>(passive_), config_.shuffle_kp,
+                         sample_scratch_);
+  for (const NodeId& n : sample_scratch_) shuffle.entries.push_back(n);
   const NodeId target = env_.rng().pick(active_);
-  env_.send(target,
-            wire::Shuffle{self(), config_.shuffle_ttl, std::move(entries)});
+  env_.send(target, shuffle);
 }
 
 void HyParView::handle_shuffle(const NodeId& sender, const wire::Shuffle& m) {
@@ -199,25 +214,30 @@ void HyParView::handle_shuffle(const NodeId& sender, const wire::Shuffle& m) {
   heal_asymmetry(sender);
   const std::uint8_t ttl = m.ttl > 0 ? static_cast<std::uint8_t>(m.ttl - 1) : 0;
   if (ttl > 0 && active_.size() > 1) {
-    std::vector<NodeId> candidates;
-    candidates.reserve(active_.size());
+    walk_scratch_.clear();
     for (const NodeId& n : active_) {
-      if (n != sender && n != m.origin) candidates.push_back(n);
+      if (n != sender && n != m.origin) walk_scratch_.push_back(n);
     }
-    if (!candidates.empty()) {
+    if (!walk_scratch_.empty()) {
       ++stats_.shuffles_forwarded;
-      env_.send(env_.rng().pick(candidates),
-                wire::Shuffle{m.origin, ttl, m.entries});
+      wire::Shuffle forwarded = m;  // flat frame: a plain POD copy
+      forwarded.ttl = ttl;
+      env_.send(env_.rng().pick(walk_scratch_), forwarded);
       return;
     }
   }
   // Accept: answer with as many passive entries as we received, directly to
-  // the origin over a temporary connection.
+  // the origin over a temporary connection. The reply reuses the sample
+  // scratch and echoes the received list with a POD copy.
   ++stats_.shuffles_accepted;
-  std::vector<NodeId> reply =
-      env_.rng().sample(passive_, std::min(m.entries.size(), passive_.size()));
-  env_.send(m.origin, wire::ShuffleReply{m.entries, reply});
-  integrate_shuffle_entries(m.entries, reply);
+  env_.rng().sample_into(std::span<const NodeId>(passive_),
+                         std::min(m.entries.size(), passive_.size()),
+                         sample_scratch_);
+  wire::ShuffleReply reply;
+  reply.sent = m.entries;
+  reply.entries.assign(sample_scratch_);
+  env_.send(m.origin, reply);
+  integrate_shuffle_entries(m.entries.span(), reply.entries.span());
   if (!in_active(m.origin) && !is_warm(m.origin)) env_.disconnect(m.origin);
 }
 
@@ -225,21 +245,21 @@ void HyParView::handle_shuffle_reply(const NodeId& from,
                                      const wire::ShuffleReply& m) {
   // m.sent echoes the entries we shipped in our SHUFFLE: prefer evicting
   // those when the passive view is full (§4.4).
-  integrate_shuffle_entries(m.entries, m.sent);
+  integrate_shuffle_entries(m.entries.span(), m.sent.span());
   if (!in_active(from) && !is_warm(from)) env_.disconnect(from);
 }
 
-void HyParView::integrate_shuffle_entries(
-    const std::vector<NodeId>& received,
-    const std::vector<NodeId>& sent_to_peer) {
+void HyParView::integrate_shuffle_entries(std::span<const NodeId> received,
+                                          std::span<const NodeId> sent_to_peer) {
   // Eviction preference queue: ids we sent to the peer, still present.
-  std::vector<NodeId> evict_first;
+  // Reused scratch — this runs once per accepted shuffle and once per reply.
+  evict_scratch_.clear();
   for (const NodeId& n : sent_to_peer) {
-    if (in_passive(n)) evict_first.push_back(n);
+    if (in_passive(n)) evict_scratch_.push_back(n);
   }
   for (const NodeId& n : received) {
     if (n == self() || in_active(n) || in_passive(n)) continue;
-    add_to_passive(n, &evict_first);
+    add_to_passive(n, &evict_scratch_);
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hyparview/common/node_id.hpp"
@@ -132,8 +133,8 @@ class HyParView final : public membership::Protocol {
   void add_to_passive(const NodeId& node,
                       std::vector<NodeId>* prefer_evict = nullptr);
 
-  void integrate_shuffle_entries(const std::vector<NodeId>& received,
-                                 const std::vector<NodeId>& sent_to_peer);
+  void integrate_shuffle_entries(std::span<const NodeId> received,
+                                 std::span<const NodeId> sent_to_peer);
 
   /// Marks `peer` failed: expunged from both views, repair kicked off.
   void node_failed(const NodeId& peer);
@@ -182,6 +183,15 @@ class HyParView final : public membership::Protocol {
   /// live read.
   std::vector<NodeId> promote_warm_scratch_;
   std::vector<NodeId> promote_cold_scratch_;
+  /// Walk-candidate scratch for FORWARDJOIN/SHUFFLE relaying and sample
+  /// scratch for shuffle construction, reused across calls for the same
+  /// reason: membership wire traffic is steady-state allocation-free
+  /// (enforced by the micro_sim_events shuffle-phase gate). Safe to reuse
+  /// because Env calls are asynchronous — no upcall re-enters the protocol
+  /// while a scratch is live.
+  std::vector<NodeId> walk_scratch_;
+  std::vector<NodeId> sample_scratch_;
+  std::vector<NodeId> evict_scratch_;
 
   Stats stats_;
 };

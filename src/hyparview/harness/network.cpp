@@ -161,11 +161,14 @@ void Network::build(const BuildOptions& options) {
 }
 
 void Network::run_cycles(std::size_t n) {
-  std::vector<std::size_t> order(runtimes_.size());
-  std::iota(order.begin(), order.end(), 0);
+  // Reused member scratch: run_cycles sits inside the membership-phase
+  // steady state (micro_sim_events gates it allocation-free), so the random
+  // round order must not cost a vector per call.
+  cycle_order_.resize(runtimes_.size());
+  std::iota(cycle_order_.begin(), cycle_order_.end(), 0);
   for (std::size_t round = 0; round < n; ++round) {
-    sim_.rng().shuffle(order);
-    for (const std::size_t i : order) {
+    sim_.rng().shuffle(cycle_order_);
+    for (const std::size_t i : cycle_order_) {
       if (!alive(i)) continue;
       runtimes_[i]->protocol().on_cycle();
       sim_.run_until_quiescent();

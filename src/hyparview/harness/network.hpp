@@ -194,6 +194,8 @@ class Network {
   analysis::BroadcastRecorder recorder_;
   std::vector<std::unique_ptr<gossip::NodeRuntime>> runtimes_;
   std::vector<std::size_t> class_of_;
+  /// Reused random-order scratch of run_cycles (steady-state alloc-free).
+  std::vector<std::size_t> cycle_order_;
   std::uint64_t next_msg_id_ = 1;
   bool built_ = false;
 };

@@ -26,18 +26,29 @@ AgedId read_aged(BinaryReader& r) {
 }
 
 template <typename Writer>
-void write_aged_list(const std::vector<AgedId>& v, Writer& w) {
-  HPV_CHECK(v.size() <= 0xFFFF);
+void write_aged_list(const AgedList& v, Writer& w) {
   w.u16(static_cast<std::uint16_t>(v.size()));
   for (const auto& e : v) write_aged(e, w);
 }
 
-std::vector<AgedId> read_aged_list(BinaryReader& r) {
+/// Decodes a u16-counted list into a flat bounded payload. A count beyond
+/// the compile-time capacity is a malformed (or hostile) frame, rejected
+/// as CheckError before a single entry is read — a remote peer can never
+/// make us buffer past the inline bound.
+void read_node_list(BinaryReader& r, ShuffleList& out) {
   const std::size_t n = r.u16();
-  std::vector<AgedId> v;
-  v.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) v.push_back(read_aged(r));
-  return v;
+  HPV_CHECK_THROW(n <= ShuffleList::kCapacity,
+                  "wire::decode: node list exceeds flat capacity");
+  out.clear();
+  for (std::size_t i = 0; i < n; ++i) out.push_back(r.node_id());
+}
+
+void read_aged_list(BinaryReader& r, AgedList& out) {
+  const std::size_t n = r.u16();
+  HPV_CHECK_THROW(n <= AgedList::kCapacity,
+                  "wire::decode: aged list exceeds flat capacity");
+  out.clear();
+  for (std::size_t i = 0; i < n; ++i) out.push_back(read_aged(r));
 }
 
 }  // namespace
@@ -94,11 +105,11 @@ void encode_impl(const Message& msg, Writer& w) {
           [&](const Shuffle& m) {
             w.node_id(m.origin);
             w.u8(m.ttl);
-            w.node_ids(m.entries);
+            w.node_ids(m.entries.span());
           },
           [&](const ShuffleReply& m) {
-            w.node_ids(m.sent);
-            w.node_ids(m.entries);
+            w.node_ids(m.sent.span());
+            w.node_ids(m.entries.span());
           },
           [&](const CyclonShuffle& m) { write_aged_list(m.entries, w); },
           [&](const CyclonShuffleReply& m) { write_aged_list(m.entries, w); },
@@ -184,19 +195,25 @@ Message decode(BinaryReader& r) {
       Shuffle m;
       m.origin = r.node_id();
       m.ttl = r.u8();
-      m.entries = r.node_ids();
+      read_node_list(r, m.entries);
       return m;
     }
     case 7: {
       ShuffleReply m;
-      m.sent = r.node_ids();
-      m.entries = r.node_ids();
+      read_node_list(r, m.sent);
+      read_node_list(r, m.entries);
       return m;
     }
-    case 8:
-      return CyclonShuffle{read_aged_list(r)};
-    case 9:
-      return CyclonShuffleReply{read_aged_list(r)};
+    case 8: {
+      CyclonShuffle m;
+      read_aged_list(r, m.entries);
+      return m;
+    }
+    case 9: {
+      CyclonShuffleReply m;
+      read_aged_list(r, m.entries);
+      return m;
+    }
     case 10: {
       CyclonJoinWalk m;
       m.new_node = r.node_id();

@@ -4,17 +4,123 @@
 // layer so that one transport implementation (simulated or TCP) can carry
 // any protocol. Binary encoding is little-endian and length-framed by the
 // transport; see encode()/decode().
+//
+// Every message is a flat, bounded-size POD: list payloads (shuffle
+// node-lists, Cyclon exchanges) are inline fixed-capacity arrays, not
+// heap-backed vectors, so the whole Message variant is trivially copyable.
+// That is what lets the simulator recycle membership frames through its
+// payload slabs with zero steady-state heap allocations — the same design
+// the gossip frames adopted one PR earlier — and what bounds the frame
+// size a TCP peer can make us buffer. The capacity constants below are the
+// protocol-visible contract: configs whose shuffle sizes exceed them are
+// rejected at validate() time.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
+#include "hyparview/common/assert.hpp"
 #include "hyparview/common/binary.hpp"
 #include "hyparview/common/node_id.hpp"
 
 namespace hyparview::wire {
+
+// ---------------------------------------------------------------------------
+// Flat, bounded list payloads
+// ---------------------------------------------------------------------------
+
+/// Inline fixed-capacity list: the wire representation of a node-list
+/// payload. Trivially copyable, so messages carrying one can live in the
+/// simulator's POD slabs and copy with memcpy instead of touching the
+/// allocator. Only the first `count` items are meaningful; the tail is
+/// value-initialized so equality and hashing over the live prefix are
+/// well defined.
+template <typename T, std::size_t N>
+struct FlatList {
+  static_assert(N >= 1 && N <= 255, "count travels in a single byte's range");
+  using value_type = T;
+  static constexpr std::size_t kCapacity = N;
+
+  std::uint8_t count = 0;
+  std::array<T, N> items{};
+
+  constexpr FlatList() = default;
+
+  FlatList(std::initializer_list<T> init) {
+    HPV_CHECK_THROW(init.size() <= N, "FlatList: initializer exceeds capacity");
+    for (const T& v : init) items[count++] = v;
+  }
+
+  /// Bounded copy-in (tests, migration call sites); CheckError on overflow.
+  explicit FlatList(std::span<const T> src) { assign(src); }
+  FlatList(const std::vector<T>& src) : FlatList(std::span<const T>(src)) {}
+
+  void assign(std::span<const T> src) {
+    HPV_CHECK_THROW(src.size() <= N, "FlatList: assign exceeds capacity");
+    count = static_cast<std::uint8_t>(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) items[i] = src[i];
+  }
+
+  [[nodiscard]] std::size_t size() const { return count; }
+  [[nodiscard]] bool empty() const { return count == 0; }
+  [[nodiscard]] bool full() const { return count == N; }
+
+  void clear() { count = 0; }
+
+  void push_back(const T& v) {
+    HPV_CHECK_THROW(count < N, "FlatList: push_back past capacity");
+    items[count++] = v;
+  }
+
+  void pop_back() {
+    HPV_ASSERT(count > 0);
+    --count;
+  }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    HPV_ASSERT(i < count);
+    return items[i];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    HPV_ASSERT(i < count);
+    return items[i];
+  }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] const T& back() const { return (*this)[count - 1]; }
+
+  [[nodiscard]] const T* begin() const { return items.data(); }
+  [[nodiscard]] const T* end() const { return items.data() + count; }
+  [[nodiscard]] T* begin() { return items.data(); }
+  [[nodiscard]] T* end() { return items.data() + count; }
+
+  [[nodiscard]] std::span<const T> span() const {
+    return {items.data(), count};
+  }
+
+  friend bool operator==(const FlatList& a, const FlatList& b) {
+    if (a.count != b.count) return false;
+    for (std::size_t i = 0; i < a.count; ++i) {
+      if (!(a.items[i] == b.items[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Capacity bound of HyParView shuffle lists: a SHUFFLE carries
+/// 1 (self) + ka + kp entries and a SHUFFLEREPLY echoes at most that many,
+/// so configs must keep 1 + shuffle_ka + shuffle_kp within this bound
+/// (validated by core::Config::validate; paper values use 8 of 16).
+inline constexpr std::size_t kMaxShuffleEntries = 16;
+
+/// Capacity bound of Cyclon exchange lists (shuffle_length at most this;
+/// validated by CyclonConfig::validate; the paper's comparison uses 14).
+inline constexpr std::size_t kMaxCyclonShuffleEntries = 16;
 
 // ---------------------------------------------------------------------------
 // HyParView (paper §4, Algorithm 1)
@@ -58,20 +164,23 @@ struct NeighborReply {
   friend bool operator==(const NeighborReply&, const NeighborReply&) = default;
 };
 
+/// Flat node-list payload of SHUFFLE/SHUFFLEREPLY frames.
+using ShuffleList = FlatList<NodeId, kMaxShuffleEntries>;
+
 /// Passive-view shuffle, propagated as a TTL-bounded random walk. `origin`
 /// is the node that initiated the shuffle (the reply goes directly to it,
 /// over a temporary connection in the TCP deployment).
 struct Shuffle {
   NodeId origin;
   std::uint8_t ttl = 0;
-  std::vector<NodeId> entries;
+  ShuffleList entries;
   friend bool operator==(const Shuffle&, const Shuffle&) = default;
 };
 
 struct ShuffleReply {
   /// Echo of the ids we sent, so the receiver can prefer evicting them.
-  std::vector<NodeId> sent;
-  std::vector<NodeId> entries;
+  ShuffleList sent;
+  ShuffleList entries;
   friend bool operator==(const ShuffleReply&, const ShuffleReply&) = default;
 };
 
@@ -85,13 +194,16 @@ struct AgedId {
   friend bool operator==(const AgedId&, const AgedId&) = default;
 };
 
+/// Flat (id, age) exchange payload of Cyclon shuffles.
+using AgedList = FlatList<AgedId, kMaxCyclonShuffleEntries>;
+
 struct CyclonShuffle {
-  std::vector<AgedId> entries;
+  AgedList entries;
   friend bool operator==(const CyclonShuffle&, const CyclonShuffle&) = default;
 };
 
 struct CyclonShuffleReply {
-  std::vector<AgedId> entries;
+  AgedList entries;
   friend bool operator==(const CyclonShuffleReply&,
                          const CyclonShuffleReply&) = default;
 };
@@ -190,6 +302,11 @@ using Message = std::variant<
     Shuffle, ShuffleReply, CyclonShuffle, CyclonShuffleReply, CyclonJoinWalk,
     CyclonJoinGift, ScampSubscribe, ScampForwardedSub, ScampInViewNotify,
     ScampReplace, ScampHeartbeat, Gossip, GossipAck, Hello>;
+
+/// The design invariant of the flat wire path: any message — membership
+/// control traffic included — can ride a POD slab and be recycled without
+/// running a destructor or touching the allocator.
+static_assert(std::is_trivially_copyable_v<Message>);
 
 /// Stable wire tag of a message (the variant index, fixed by the order above).
 [[nodiscard]] std::uint8_t type_tag(const Message& msg);

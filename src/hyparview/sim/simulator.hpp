@@ -288,7 +288,7 @@ class Simulator {
     std::unique_ptr<membership::Env> env;
   };
 
-  void do_send(std::uint32_t from, std::uint32_t to, wire::Message msg);
+  void do_send(std::uint32_t from, std::uint32_t to, const wire::Message& msg);
   void do_connect(std::uint32_t from, std::uint32_t to,
                   membership::ConnectCallback cb);
   void do_disconnect(std::uint32_t from, std::uint32_t to);
@@ -299,7 +299,15 @@ class Simulator {
   void dispatch(Event& ev);
   Duration draw_latency();
 
+  /// Copies `msg` into the generic payload slab. Copies only the *active
+  /// alternative* (visit + in-place emplace): the flat wire variant's
+  /// storage is sized for a max-capacity shuffle (~270 bytes), but most
+  /// membership frames are a dozen bytes — whole-variant assignment would
+  /// memcpy the full storage on every control-plane send.
+  std::uint32_t put_message(const wire::Message& msg);
+
   /// Moves a kDeliver/kSendFailed payload out of its pool (see Event::gossip).
+  /// Same active-alternative-only copy discipline as put_message.
   wire::Message take_message(const Event& ev);
   /// Releases such a payload without materializing it (dropped events).
   void release_message(const Event& ev);
@@ -327,7 +335,11 @@ class Simulator {
   MinHeap<Event, EventLess> queue_;
   /// Payload slabs, free-list recycled (see slot_pool.hpp). One per payload
   /// kind so slots are homogeneous and reuse is exact. Gossip frames get
-  /// their own POD slab (Event::gossip) — they dominate broadcast traffic.
+  /// their own compact slab (Event::gossip) — they dominate broadcast
+  /// traffic and are an order of magnitude smaller than the full variant.
+  /// Since the flat wire refactor the generic pool is POD too: membership
+  /// control frames (shuffle node-lists included) recycle through it
+  /// without ever touching the allocator — put/take are plain copies.
   SlotPool<wire::Message> messages_;
   SlotPool<wire::Gossip> gossips_;
   SlotPool<membership::TaskCallback> tasks_;

@@ -1,8 +1,14 @@
 // Failure-injection scenarios: the paper's core claims at test scale.
+//
+// Two tiers: the default CTest registration runs with HPV_QUICK=1 and keeps
+// a representative core (50% survival, crashed-contact joins, notify-mode
+// healing); the 500-node recovery sweeps run in the `full` tier
+// (-DHPV_FULL_TESTS=ON + `ctest -L full`, exercised in CI).
 #include <gtest/gtest.h>
 
 #include "hyparview/graph/metrics.hpp"
 #include "hyparview/harness/network.hpp"
+#include "support/test_tiers.hpp"
 
 namespace hyparview::harness {
 namespace {
@@ -29,6 +35,7 @@ TEST(FailureInjectionTest, HyParViewSurvives50PercentFailures) {
 }
 
 TEST(FailureInjectionTest, HyParViewRecoversFrom80PercentFailures) {
+  HPV_FULL_TIER_ONLY();
   auto net = make_stable(ProtocolKind::kHyParView, 500, 32);
   net->fail_random_fraction(0.8);
   // Let the reactive mechanism work through a burst of traffic...
@@ -40,6 +47,7 @@ TEST(FailureInjectionTest, HyParViewRecoversFrom80PercentFailures) {
 }
 
 TEST(FailureInjectionTest, PlainCyclonDegradesUnderMassiveFailure) {
+  HPV_FULL_TIER_ONLY();
   auto net = make_stable(ProtocolKind::kCyclon, 500, 33);
   net->fail_random_fraction(0.6);
   double sum = 0.0;
@@ -51,6 +59,7 @@ TEST(FailureInjectionTest, PlainCyclonDegradesUnderMassiveFailure) {
 }
 
 TEST(FailureInjectionTest, CyclonAckedRecoversWithinTensOfMessages) {
+  HPV_FULL_TIER_ONLY();
   auto net = make_stable(ProtocolKind::kCyclonAcked, 500, 34);
   net->fail_random_fraction(0.5);
   // Paper fig. 3: CyclonAcked recovers after ~25 messages.
@@ -61,6 +70,7 @@ TEST(FailureInjectionTest, CyclonAckedRecoversWithinTensOfMessages) {
 }
 
 TEST(FailureInjectionTest, CyclonAckedBeatsPlainCyclonAfterFailures) {
+  HPV_FULL_TIER_ONLY();
   auto plain = make_stable(ProtocolKind::kCyclon, 400, 35);
   auto acked = make_stable(ProtocolKind::kCyclonAcked, 400, 35);
   plain->fail_random_fraction(0.6);
@@ -76,6 +86,7 @@ TEST(FailureInjectionTest, CyclonAckedBeatsPlainCyclonAfterFailures) {
 }
 
 TEST(FailureInjectionTest, HyParViewAccuracyRestoredByTraffic) {
+  HPV_FULL_TIER_ONLY();
   auto net = make_stable(ProtocolKind::kHyParView, 400, 36);
   net->fail_random_fraction(0.5);
   const double before = net->view_accuracy();
@@ -100,6 +111,7 @@ TEST(FailureInjectionTest, CrashedContactNodeDoesNotBlockJoins) {
 }
 
 TEST(FailureInjectionTest, OverlayConnectivityAmongSurvivors) {
+  HPV_FULL_TIER_ONLY();
   auto net = make_stable(ProtocolKind::kHyParView, 500, 38);
   net->fail_random_fraction(0.7);
   for (int i = 0; i < 30; ++i) net->broadcast_one();  // reactive repair
@@ -112,6 +124,7 @@ TEST(FailureInjectionTest, OverlayConnectivityAmongSurvivors) {
 }
 
 TEST(FailureInjectionTest, RepeatedFailureWavesSurvivable) {
+  HPV_FULL_TIER_ONLY();
   auto net = make_stable(ProtocolKind::kHyParView, 400, 39);
   for (int wave = 0; wave < 3; ++wave) {
     net->fail_random_fraction(0.3);

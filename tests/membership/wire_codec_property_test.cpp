@@ -1,0 +1,235 @@
+// Randomized property suite for the flat wire codec.
+//
+// Three properties over every message kind:
+//  1. encode → decode identity (round trip), including max-capacity
+//     shuffle lists (the flat frames' worst case);
+//  2. encoded_size() == encode_bytes().size() for every generated frame;
+//  3. malformed input never causes UB: every strict prefix of a valid
+//     frame is rejected with CheckError, random garbage buffers either
+//     decode to a canonical frame (whose re-encoding reproduces the input)
+//     or throw CheckError, and over-capacity list counts are rejected
+//     before any entry is read. Running under ASan/UBSan in CI turns
+//     "no UB" from a hope into a checked invariant.
+#include "hyparview/membership/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyparview/common/rng.hpp"
+
+namespace hyparview::wire {
+namespace {
+
+NodeId random_id(Rng& rng) {
+  return NodeId{static_cast<std::uint32_t>(rng.next()),
+                static_cast<std::uint16_t>(rng.below(65536))};
+}
+
+AgedId random_aged(Rng& rng) {
+  return AgedId{random_id(rng), static_cast<std::uint16_t>(rng.below(65536))};
+}
+
+ShuffleList random_shuffle_list(Rng& rng, std::size_t max_len) {
+  ShuffleList out;
+  const std::size_t n = rng.below(max_len + 1);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(random_id(rng));
+  return out;
+}
+
+AgedList random_aged_list(Rng& rng, std::size_t max_len) {
+  AgedList out;
+  const std::size_t n = rng.below(max_len + 1);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(random_aged(rng));
+  return out;
+}
+
+/// A random instance of the message kind with variant index `tag`.
+Message random_message(std::uint8_t tag, Rng& rng) {
+  switch (tag) {
+    case 0: return Join{};
+    case 1: return ForwardJoin{random_id(rng),
+                               static_cast<std::uint8_t>(rng.below(256))};
+    case 2: return ForwardJoinAccept{};
+    case 3: return Disconnect{};
+    case 4: return Neighbor{rng.chance(0.5)};
+    case 5: return NeighborReply{rng.chance(0.5)};
+    case 6: {
+      Shuffle m;
+      m.origin = random_id(rng);
+      m.ttl = static_cast<std::uint8_t>(rng.below(256));
+      m.entries = random_shuffle_list(rng, kMaxShuffleEntries);
+      return m;
+    }
+    case 7: {
+      ShuffleReply m;
+      m.sent = random_shuffle_list(rng, kMaxShuffleEntries);
+      m.entries = random_shuffle_list(rng, kMaxShuffleEntries);
+      return m;
+    }
+    case 8: return CyclonShuffle{random_aged_list(rng, kMaxCyclonShuffleEntries)};
+    case 9:
+      return CyclonShuffleReply{random_aged_list(rng, kMaxCyclonShuffleEntries)};
+    case 10: return CyclonJoinWalk{random_id(rng),
+                                   static_cast<std::uint8_t>(rng.below(256))};
+    case 11: return CyclonJoinGift{random_aged(rng)};
+    case 12: return ScampSubscribe{random_id(rng)};
+    case 13: return ScampForwardedSub{
+                 random_id(rng), static_cast<std::uint16_t>(rng.below(65536))};
+    case 14: return ScampInViewNotify{};
+    case 15: return ScampReplace{random_id(rng), random_id(rng)};
+    case 16: return ScampHeartbeat{};
+    case 17: return Gossip{rng.next(),
+                           static_cast<std::uint16_t>(rng.below(65536)),
+                           static_cast<std::uint32_t>(rng.below(1u << 20))};
+    case 18: return GossipAck{rng.next()};
+    case 19: return Hello{random_id(rng)};
+    default:
+      ADD_FAILURE() << "unhandled tag " << int(tag);
+      return Join{};
+  }
+}
+
+constexpr std::size_t kTagCount = std::variant_size_v<Message>;
+
+TEST(WireCodecProperty, RandomizedRoundTripIdentityAllKinds) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 400; ++iter) {
+    for (std::uint8_t tag = 0; tag < kTagCount; ++tag) {
+      const Message original = random_message(tag, rng);
+      ASSERT_EQ(original.index(), tag);
+      const auto bytes = encode_bytes(original);
+      const Message decoded = decode_bytes(bytes);
+      ASSERT_EQ(decoded.index(), original.index()) << type_name(original);
+      ASSERT_EQ(decoded, original) << type_name(original);
+    }
+  }
+}
+
+TEST(WireCodecProperty, EncodedSizeMatchesBytesForRandomFrames) {
+  Rng rng(77);
+  for (int iter = 0; iter < 400; ++iter) {
+    for (std::uint8_t tag = 0; tag < kTagCount; ++tag) {
+      const Message msg = random_message(tag, rng);
+      ASSERT_EQ(encoded_size(msg), encode_bytes(msg).size())
+          << type_name(msg);
+    }
+  }
+}
+
+TEST(WireCodecProperty, MaxCapacityListsRoundTrip) {
+  Rng rng(5);
+  Shuffle shuffle;
+  shuffle.origin = random_id(rng);
+  shuffle.ttl = 255;
+  while (!shuffle.entries.full()) shuffle.entries.push_back(random_id(rng));
+
+  ShuffleReply reply;
+  while (!reply.sent.full()) reply.sent.push_back(random_id(rng));
+  while (!reply.entries.full()) reply.entries.push_back(random_id(rng));
+
+  CyclonShuffle cyclon;
+  while (!cyclon.entries.full()) cyclon.entries.push_back(random_aged(rng));
+
+  for (const Message& msg :
+       {Message{shuffle}, Message{reply}, Message{cyclon}}) {
+    const Message decoded = decode_bytes(encode_bytes(msg));
+    EXPECT_EQ(decoded, msg) << type_name(msg);
+  }
+}
+
+TEST(WireCodecProperty, EveryStrictPrefixOfValidFramesIsRejected) {
+  // decode_bytes requires exact consumption, and every read is bounds
+  // checked, so no strict prefix of a frame may parse. This covers the
+  // "truncated in flight" failure mode of the TCP stream parser.
+  Rng rng(31337);
+  for (std::uint8_t tag = 0; tag < kTagCount; ++tag) {
+    const Message msg = random_message(tag, rng);
+    const auto bytes = encode_bytes(msg);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_THROW(
+          (void)decode_bytes(std::span<const std::uint8_t>(bytes.data(), len)),
+          CheckError)
+          << type_name(msg) << " prefix " << len << "/" << bytes.size();
+    }
+  }
+}
+
+TEST(WireCodecProperty, GarbageBuffersRejectOrDecodeConsistently) {
+  // Fuzz the decoder with random bytes: each buffer must either throw
+  // CheckError or produce a message that survives its own encode→decode
+  // round trip with the documented size (the only non-byte-canonical
+  // accepts are bool fields, where any nonzero byte means true). Under
+  // ASan this also proves malformed input cannot read out of bounds.
+  Rng rng(99);
+  std::size_t decoded_ok = 0;
+  for (int iter = 0; iter < 20'000; ++iter) {
+    const std::size_t len = rng.below(64);
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      const Message msg = decode_bytes(buf);
+      ++decoded_ok;
+      const auto bytes = encode_bytes(msg);
+      EXPECT_EQ(bytes.size(), buf.size()) << type_name(msg);
+      EXPECT_EQ(encoded_size(msg), bytes.size()) << type_name(msg);
+      EXPECT_EQ(decode_bytes(bytes), msg) << type_name(msg);
+    } catch (const CheckError&) {
+      // rejected: fine
+    }
+  }
+  // Some random buffers are valid frames (e.g. single-byte JOIN); if none
+  // ever decoded the fuzz corpus is too weak to mean anything.
+  EXPECT_GT(decoded_ok, 0u);
+}
+
+TEST(WireCodecProperty, OverCapacityCountsRejectedForEveryListField) {
+  // Hand-craft frames whose u16 list count exceeds the flat capacity; the
+  // decoder must reject them before reading entries (bounded buffering).
+  const NodeId id = NodeId::from_index(7);
+  for (const std::uint16_t count :
+       {static_cast<std::uint16_t>(kMaxShuffleEntries + 1),
+        static_cast<std::uint16_t>(1000), static_cast<std::uint16_t>(0xFFFF)}) {
+    {
+      BinaryWriter w;  // SHUFFLE: origin, ttl, entries
+      w.u8(6);
+      w.node_id(id);
+      w.u8(2);
+      w.u16(count);
+      EXPECT_THROW((void)decode_bytes(w.bytes()), CheckError) << count;
+    }
+    {
+      BinaryWriter w;  // SHUFFLEREPLY: sent (oversized immediately)
+      w.u8(7);
+      w.u16(count);
+      EXPECT_THROW((void)decode_bytes(w.bytes()), CheckError) << count;
+    }
+    {
+      BinaryWriter w;  // CYCLON_SHUFFLE
+      w.u8(8);
+      w.u16(count);
+      EXPECT_THROW((void)decode_bytes(w.bytes()), CheckError) << count;
+    }
+    {
+      BinaryWriter w;  // CYCLON_SHUFFLE_REPLY
+      w.u8(9);
+      w.u16(count);
+      EXPECT_THROW((void)decode_bytes(w.bytes()), CheckError) << count;
+    }
+  }
+}
+
+TEST(WireCodecProperty, FlatListEqualityIgnoresDeadTail) {
+  // Two lists with equal live prefixes compare equal even if their dead
+  // tails differ (a popped entry leaves its bytes behind).
+  ShuffleList a;
+  a.push_back(NodeId::from_index(1));
+  a.push_back(NodeId::from_index(2));
+  ShuffleList b = a;
+  a.push_back(NodeId::from_index(3));
+  a.pop_back();  // dead tail now holds #3
+  EXPECT_EQ(a, b);
+  b.push_back(NodeId::from_index(4));
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace hyparview::wire

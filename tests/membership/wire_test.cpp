@@ -88,34 +88,56 @@ TEST(WireTest, TypeNamesDistinct) {
 
 TEST(WireTest, DecodeRejectsUnknownTag) {
   std::vector<std::uint8_t> bytes = {0xEE};
-  EXPECT_THROW(decode_bytes(bytes), CheckError);
+  EXPECT_THROW((void)decode_bytes(bytes), CheckError);
 }
 
 TEST(WireTest, DecodeRejectsTruncatedPayload) {
   auto bytes = encode_bytes(Message{ForwardJoin{NodeId::from_index(3), 4}});
   bytes.pop_back();
-  EXPECT_THROW(decode_bytes(bytes), CheckError);
+  EXPECT_THROW((void)decode_bytes(bytes), CheckError);
 }
 
 TEST(WireTest, DecodeRejectsTrailingGarbage) {
   auto bytes = encode_bytes(Message{Disconnect{}});
   bytes.push_back(0x00);
-  EXPECT_THROW(decode_bytes(bytes), CheckError);
+  EXPECT_THROW((void)decode_bytes(bytes), CheckError);
 }
 
 TEST(WireTest, DecodeEmptyThrows) {
-  EXPECT_THROW(decode_bytes({}), CheckError);
+  EXPECT_THROW((void)decode_bytes({}), CheckError);
 }
 
-TEST(WireTest, LargeShuffleRoundTrip) {
+TEST(WireTest, MaxCapacityShuffleRoundTrip) {
+  // The flat codec's worst case: every list filled to its inline bound.
   Shuffle s;
   s.origin = NodeId::from_index(9);
   s.ttl = 255;
-  for (std::uint32_t i = 0; i < 1000; ++i) {
+  for (std::uint32_t i = 0; i < kMaxShuffleEntries; ++i) {
     s.entries.push_back(NodeId::from_index(i));
   }
+  EXPECT_TRUE(s.entries.full());
   const Message decoded = decode_bytes(encode_bytes(Message{s}));
-  EXPECT_EQ(std::get<Shuffle>(decoded).entries.size(), 1000u);
+  EXPECT_EQ(std::get<Shuffle>(decoded), s);
+}
+
+TEST(WireTest, OverCapacityListIsRejectedAtConstruction) {
+  ShuffleList list;
+  for (std::uint32_t i = 0; i < kMaxShuffleEntries; ++i) {
+    list.push_back(NodeId::from_index(i));
+  }
+  EXPECT_THROW(list.push_back(NodeId::from_index(999)), CheckError);
+}
+
+TEST(WireTest, DecodeRejectsOverCapacityCount) {
+  // A hostile frame claiming more entries than the flat bound must be
+  // rejected before any entry is read — a peer can never make the decoder
+  // buffer past the inline capacity.
+  BinaryWriter w;
+  w.u8(6);  // SHUFFLE tag
+  w.node_id(NodeId::from_index(1));
+  w.u8(3);
+  w.u16(0xFFFF);  // absurd count
+  EXPECT_THROW((void)decode_bytes(w.bytes()), CheckError);
 }
 
 TEST(WireTest, RandomizedGossipRoundTrips) {
@@ -141,7 +163,7 @@ TEST(WireTest, EncodedSizeMatchesEncodingForRandomVariableLengthMessages) {
   // list-bearing kinds over random lengths.
   Rng rng(91);
   for (int i = 0; i < 100; ++i) {
-    const std::size_t n = rng.below(50);
+    const std::size_t n = rng.below(kMaxShuffleEntries + 1);
     std::vector<NodeId> ids;
     std::vector<AgedId> aged;
     for (std::size_t k = 0; k < n; ++k) {

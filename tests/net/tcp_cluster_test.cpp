@@ -1,5 +1,12 @@
 // End-to-end HyParView over real TCP sockets: an in-process cluster on the
 // loopback interface, sharing one event loop.
+//
+// Two tiers: the default CTest registration runs with HPV_QUICK=1 and keeps
+// the three core scenarios (join symmetry, flood delivery, crash repair) —
+// real-socket settle times make each cluster build ~0.5s, and this file
+// used to dominate the whole suite's wall time. The remaining scenarios run
+// in the `full` tier (-DHPV_FULL_TESTS=ON + `ctest -L full`, exercised in
+// CI, including under TSan).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,6 +16,8 @@
 #include "hyparview/core/hyparview.hpp"
 #include "hyparview/gossip/node_runtime.hpp"
 #include "hyparview/net/tcp_transport.hpp"
+
+#include "support/test_tiers.hpp"
 
 namespace hyparview::net {
 namespace {
@@ -124,6 +133,7 @@ TEST_F(TcpClusterTest, BroadcastFloodsWholeCluster) {
 }
 
 TEST_F(TcpClusterTest, SequentialBroadcastsAllDelivered) {
+  HPV_FULL_TIER_ONLY();
   build_cluster(6);
   for (std::uint64_t id = 100; id < 110; ++id) {
     nodes_[id % nodes_.size()]->runtime->gossip().broadcast(id);
@@ -158,6 +168,7 @@ TEST_F(TcpClusterTest, NodeCrashDetectedAndRepairedByTraffic) {
 }
 
 TEST_F(TcpClusterTest, ShufflePopulatesPassiveViews) {
+  HPV_FULL_TIER_ONLY();
   build_cluster(10);
   run_cycles(5);
   std::size_t with_passive = 0;
@@ -169,6 +180,7 @@ TEST_F(TcpClusterTest, ShufflePopulatesPassiveViews) {
 }
 
 TEST_F(TcpClusterTest, WarmCacheOpensRealConnectionsToPassiveMembers) {
+  HPV_FULL_TIER_ONLY();
   build_cluster(10, /*warm_cache=*/2);
   run_cycles(6);
   std::size_t warmed = 0;
@@ -189,6 +201,7 @@ TEST_F(TcpClusterTest, WarmCacheOpensRealConnectionsToPassiveMembers) {
 }
 
 TEST_F(TcpClusterTest, GracefulLeaveRemovesNodeWithoutFailureDetection) {
+  HPV_FULL_TIER_ONLY();
   build_cluster(8);
   const NodeId leaver = nodes_[2]->id();
   // Say goodbye, let the DISCONNECTs flush, then kill the process.

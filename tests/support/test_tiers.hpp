@@ -1,0 +1,22 @@
+// Shared tiering helper for the slow suites (tcp_cluster_test,
+// failure_injection_test). Their default CTest registrations set
+// HPV_QUICK=1, which keeps the core scenarios and skips the rest; the
+// complete suites register as `*_full` aliases (label `full`) when the
+// tree is configured with -DHPV_FULL_TESTS=ON.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "hyparview/common/options.hpp"
+
+// Uses the same HPV_QUICK parse as the bench scale and scenario grid
+// (env_flag: "1"/"true"/"yes"/"on"), so one spelling tiers everything
+// consistently.
+#define HPV_FULL_TIER_ONLY()                                                 \
+  do {                                                                       \
+    if (::hyparview::env_flag("HPV_QUICK")) {                                \
+      GTEST_SKIP() << "full-tier case: configure with -DHPV_FULL_TESTS=ON "  \
+                      "and run `ctest -L full` (or run this binary without " \
+                      "HPV_QUICK)";                                          \
+    }                                                                        \
+  } while (0)
