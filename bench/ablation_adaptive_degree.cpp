@@ -64,21 +64,24 @@ int main() {
     std::vector<double> post_failure;
 
     for (const double fraction : fractions) {
-      auto cfg = harness::NetworkConfig::defaults_for(
-          harness::ProtocolKind::kHyParView, scale.nodes, scale.seed);
+      auto cfg = bench::sim_config(harness::ProtocolKind::kHyParView,
+                                   scale.nodes, scale.seed);
       cfg.hyparview_classes = scenario.classes;
-      harness::Network net(cfg);
-      net.build();
-      net.run_cycles(50);
+      auto cluster = harness::Cluster::sim(cfg);
+      cluster.run(harness::Experiment("adaptive_stabilize")
+                      .stabilize(50, bench::env_cycle_options()));
+      harness::SimBackend& net = *cluster.sim_backend();
 
       if (fraction == fractions.front()) {
         // Stable-phase metrics, measured once.
-        double rel_sum = 0.0;
-        double hops_sum = 0.0;
         const std::size_t stable_msgs = std::max<std::size_t>(
             scale.messages / 2, 10);
-        for (std::size_t m = 0; m < stable_msgs; ++m) {
-          const auto r = net.broadcast_one();
+        const auto stable = cluster.run(
+            harness::Experiment("adaptive_stable")
+                .broadcast(stable_msgs, "stable"));
+        double rel_sum = 0.0;
+        double hops_sum = 0.0;
+        for (const auto& r : stable.phase("stable").broadcasts) {
           rel_sum += r.reliability();
           hops_sum += r.max_hops;
         }
@@ -95,13 +98,12 @@ int main() {
         }
       }
 
-      net.fail_random_fraction(fraction);
-      double rel_sum = 0.0;
-      for (std::size_t m = 0; m < scale.messages; ++m) {
-        rel_sum += net.broadcast_one().reliability();
-      }
-      post_failure.push_back(rel_sum / static_cast<double>(scale.messages));
-      bench_json.add_events(net.simulator().events_processed());
+      const auto post = cluster.run(
+          harness::Experiment("adaptive_post_failure")
+              .crash(fraction)
+              .broadcast(scale.messages, "measure"));
+      post_failure.push_back(post.phase("measure").avg_reliability());
+      bench_json.add_events(net.events_processed());
     }
 
     table.add_row({scenario.name, analysis::fmt_percent(stable_rel, 1),

@@ -40,25 +40,22 @@ int main() {
   for (std::size_t v = 0; v < variants.size(); ++v) {
     for (std::size_t f = 0; f < fractions.size(); ++f) {
       jobs.push_back([&, v, f] {
-        auto cfg = harness::NetworkConfig::defaults_for(
-            harness::ProtocolKind::kHyParView, scale.nodes, scale.seed);
+        auto cfg = bench::sim_config(harness::ProtocolKind::kHyParView,
+                                     scale.nodes, scale.seed);
         cfg.sim.notify_on_crash = variants[v].notify;
         cfg.gossip.reroute_on_failure = variants[v].reroute;
-        harness::Network net(cfg);
-        net.build();
-        net.run_cycles(50);
-        net.recorder().reserve(scale.messages);
-        net.fail_random_fraction(fractions[f]);
+        auto cluster = harness::Cluster::sim(cfg);
+        harness::Experiment spec("failure_detection_cell");
+        spec.stabilize(50, bench::env_cycle_options())
+            .crash(fractions[f]);
         if (cfg.sim.notify_on_crash) {
-          net.simulator().run_until_quiescent();  // crash notifications
+          spec.settle();  // let the crash notifications land first
         }
-        double sum = 0.0;
-        for (std::size_t m = 0; m < scale.messages; ++m) {
-          sum += net.broadcast_one().reliability();
-        }
+        spec.broadcast(scale.messages, "measure");
+        const auto result = cluster.run(spec);
         Cell& cell = cells[v * fractions.size() + f];
-        cell.reliability = sum / static_cast<double>(scale.messages);
-        cell.events = net.simulator().events_processed();
+        cell.reliability = result.phase("measure").avg_reliability();
+        cell.events = cluster->events_processed();
         const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
         std::printf("[%s @ %.0f%%: %s]\n", variants[v].name,
                     fractions[f] * 100,

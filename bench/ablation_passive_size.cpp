@@ -30,23 +30,20 @@ int main() {
   for (std::size_t p = 0; p < passive_sizes.size(); ++p) {
     for (std::size_t f = 0; f < fractions.size(); ++f) {
       jobs.push_back([&, p, f] {
-        auto cfg = harness::NetworkConfig::defaults_for(
-            harness::ProtocolKind::kHyParView, scale.nodes,
-            scale.seed + passive_sizes[p]);
+        auto cfg = bench::sim_config(harness::ProtocolKind::kHyParView,
+                                     scale.nodes,
+                                     scale.seed + passive_sizes[p]);
         cfg.hyparview.passive_capacity = passive_sizes[p];
-        harness::Network net(cfg);
-        net.build();
-        net.run_cycles(50);
-        net.recorder().reserve(scale.messages);
-        net.fail_random_fraction(fractions[f]);
+        auto cluster = harness::Cluster::sim(cfg);
+        const auto result =
+            cluster.run(harness::Experiment("passive_size_cell")
+                            .stabilize(50, bench::env_cycle_options())
+                            .crash(fractions[f])
+                            .broadcast(scale.messages, "measure"));
         Cell& cell = cells[p * fractions.size() + f];
-        double sum = 0.0;
-        for (std::size_t m = 0; m < scale.messages; ++m) {
-          cell.last = net.broadcast_one().reliability();
-          sum += cell.last;
-        }
-        cell.avg = sum / static_cast<double>(scale.messages);
-        cell.events = net.simulator().events_processed();
+        cell.last = result.phase("measure").last_reliability();
+        cell.avg = result.phase("measure").avg_reliability();
+        cell.events = cluster->events_processed();
         const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
         std::printf("[passive=%zu @ %.0f%%: %s]\n", passive_sizes[p],
                     fractions[f] * 100,

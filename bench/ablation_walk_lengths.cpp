@@ -24,12 +24,15 @@ int main() {
                          "mean passive fill", "reliability(50 msgs)"});
   for (const auto& s : settings) {
     bench::Stopwatch watch;
-    auto cfg = harness::NetworkConfig::defaults_for(
-        harness::ProtocolKind::kHyParView, scale.nodes, scale.seed);
+    auto cfg = bench::sim_config(harness::ProtocolKind::kHyParView,
+                                 scale.nodes, scale.seed);
     cfg.hyparview.arwl = s.arwl;
     cfg.hyparview.prwl = s.prwl;
-    harness::Network net(cfg);
-    net.build();  // joins only — isolate the walk behaviour
+    auto cluster = harness::Cluster::sim(cfg);
+    // An empty spec runs the build alone: joins only, no membership
+    // rounds — isolate the walk behaviour.
+    cluster.run(harness::Experiment("walk_joins"));
+    harness::Backend& net = cluster.backend();
 
     const auto g = net.dissemination_graph(false);
     const auto indeg = g.in_degrees();
@@ -45,13 +48,12 @@ int main() {
         passive_total / static_cast<double>(net.node_count()) /
         static_cast<double>(cfg.hyparview.passive_capacity);
 
-    double rel = 0.0;
-    for (std::size_t m = 0; m < scale.messages; ++m) {
-      rel += net.broadcast_one().reliability();
-    }
-    rel /= static_cast<double>(std::max<std::size_t>(scale.messages, 1));
+    const auto measure = cluster.run(
+        harness::Experiment("walk_reliability")
+            .broadcast(scale.messages, "rel"));
+    const double rel = measure.phase("rel").avg_reliability();
 
-    bench_json.add_events(net.simulator().events_processed());
+    bench_json.add_events(net.events_processed());
     table.add_row({std::to_string(s.arwl), std::to_string(s.prwl),
                    graph::is_weakly_connected(g) ? "yes" : "NO",
                    analysis::fmt(summary.stddev, 2),

@@ -49,17 +49,20 @@ int main() {
   for (const double fraction : fractions) {
     for (const std::size_t warm : cache_sizes) {
       bench::Stopwatch watch;
-      auto cfg = harness::NetworkConfig::defaults_for(
-          harness::ProtocolKind::kHyParView, scale.nodes, scale.seed);
+      auto cfg = bench::sim_config(harness::ProtocolKind::kHyParView,
+                                   scale.nodes, scale.seed);
       cfg.hyparview.warm_cache_size = warm;
-      harness::Network net(cfg);
-      net.build();
-      net.run_cycles(50);
+      auto cluster = harness::Cluster::sim(cfg);
+      cluster.run(harness::Experiment("warm_stabilize")
+                      .stabilize(50, bench::env_cycle_options()));
+      harness::SimBackend& net = *cluster.sim_backend();
 
-      // Standing cost of the cache at steady state.
+      // Standing cost of the cache at steady state (counters reset between
+      // the metered Experiment phases — runs compose on one Cluster).
       auto& sim = net.simulator();
       sim.reset_counters();
-      net.run_cycles(10);
+      cluster.run(harness::Experiment("warm_idle")
+                      .cycles(10, bench::env_cycle_options()));
       const double idle_dials =
           static_cast<double>(sim.connections_opened()) /
           static_cast<double>(net.alive_count()) / 10.0;
@@ -68,12 +71,15 @@ int main() {
 
       net.fail_random_fraction(fraction);
       sim.reset_counters();
+      const auto measure =
+          cluster.run(harness::Experiment("warm_measure")
+                          .broadcast(scale.messages, "measure"));
+      const auto& rels = measure.phase("measure").reliabilities;
       double sum = 0.0;
       double first10 = 0.0;
-      for (std::size_t m = 0; m < scale.messages; ++m) {
-        const double r = net.broadcast_one().reliability();
-        sum += r;
-        if (m < 10) first10 += r;
+      for (std::size_t m = 0; m < rels.size(); ++m) {
+        sum += rels[m];
+        if (m < 10) first10 += rels[m];
       }
       const double alive = static_cast<double>(net.alive_count());
       const auto warm_promos_after = warm_promotions_per_node(net);

@@ -14,7 +14,7 @@
 #include "hyparview/analysis/stats.hpp"
 #include "hyparview/analysis/table.hpp"
 #include "hyparview/common/options.hpp"
-#include "hyparview/harness/network.hpp"
+#include "hyparview/harness/experiment.hpp"
 #include "hyparview/harness/scale.hpp"
 #include "hyparview/harness/sweep_runner.hpp"
 
@@ -46,21 +46,34 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Builds and stabilizes one network (the common §5 preamble).
-/// HPV_JOIN_BATCH > 1 opts into the batched bootstrap (overlapped join
-/// traffic per incremental drain — a bench-scale mode; the default 1 is the
-/// paper's serial join-then-drain methodology).
-inline std::unique_ptr<harness::Network> stabilized_network(
-    harness::ProtocolKind kind, std::size_t nodes, std::uint64_t seed,
-    std::size_t cycles = 50) {
+/// Standard sim config for a figure driver. HPV_JOIN_BATCH > 1 opts into
+/// the batched bootstrap (overlapped join traffic per incremental drain — a
+/// bench-scale mode; the default 1 is the paper's serial join-then-drain
+/// methodology).
+inline harness::NetworkConfig sim_config(harness::ProtocolKind kind,
+                                         std::size_t nodes,
+                                         std::uint64_t seed) {
   auto cfg = harness::NetworkConfig::defaults_for(kind, nodes, seed);
-  auto net = std::make_unique<harness::Network>(cfg);
-  harness::BuildOptions build_options;
-  build_options.join_batch = static_cast<std::size_t>(
+  cfg.build_options.join_batch = static_cast<std::size_t>(
       std::max<std::int64_t>(1, env_int("HPV_JOIN_BATCH", 1)));
-  net->build(build_options);
-  net->run_cycles(cycles);
-  return net;
+  return cfg;
+}
+
+/// A sim Cluster ready for Experiment specs (env-tuned bootstrap).
+inline harness::Cluster sim_cluster(harness::ProtocolKind kind,
+                                    std::size_t nodes, std::uint64_t seed) {
+  return harness::Cluster::sim(sim_config(kind, nodes, seed));
+}
+
+/// Membership-round drain batching for the stabilize/heal phases.
+/// HPV_CYCLE_BATCH > 1 opts into whole-round (or, above the node count,
+/// multi-round) event batches; the default 1 is the paper's PeerSim
+/// semantics, bit-identical to the historical per-node drain.
+inline harness::CycleOptions env_cycle_options() {
+  harness::CycleOptions options;
+  options.batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("HPV_CYCLE_BATCH", 1)));
+  return options;
 }
 
 /// Machine-readable benchmark record, written as BENCH_<name>.json in the
@@ -96,6 +109,20 @@ inline void write_bench_json(
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("[bench json → %s]\n", path.c_str());
+}
+
+/// Appends the per-phase timing fields of an experiment run to the BENCH
+/// json (phase_seconds_<prefix><label>); bench_compare.py knows these are
+/// informational. Instant phases (fanout switches) are skipped.
+template <typename Recorder>
+inline void add_phase_timings(Recorder& rec,
+                              const harness::ExperimentResult& result,
+                              const std::string& prefix = "") {
+  for (const harness::PhaseResult& phase : result.phases) {
+    if (phase.kind == harness::Experiment::PhaseKind::kSetFanout) continue;
+    rec.add_metric("phase_seconds_" + prefix + phase.label,
+                   phase.wall_seconds);
+  }
 }
 
 /// Guards worker-side progress prints inside sweep jobs (see run_sweep).

@@ -14,6 +14,16 @@ Scale-mismatched pairs (different nodes/messages/runs/seed/quick) are
 skipped with a notice instead of compared: throughput is only meaningful at
 identical scale.
 
+Renamed drivers keep their baselines: RENAMED_BENCHES maps an old baseline
+file name to the name the driver emits today, so a rename does not silently
+drop the record out of the gate (an old-named baseline whose new-named fresh
+record exists is compared under the new name).
+
+Per-phase timing fields (phase_seconds_*, emitted by the Experiment-driven
+drivers) are informational: they are reported when both records carry them
+but never gate — phase walls are too machine-noisy to fail on, the
+aggregate events/sec already captures regressions.
+
 Baselines are machine-relative. Refresh them on the reference machine with:
 
     ctest --test-dir build -L smoke
@@ -30,6 +40,14 @@ import shutil
 import sys
 
 SCALE_KEYS = ("nodes", "messages", "runs", "seed", "quick")
+
+# Old baseline file name → the name the (renamed) driver emits today. Add an
+# entry whenever a bench driver (and hence its BENCH_<name>.json) is renamed,
+# then refresh the baseline under the new name at the next opportunity.
+RENAMED_BENCHES = {}
+
+# Informational per-record fields: reported, never gated.
+PHASE_FIELD_PREFIX = "phase_seconds_"
 
 
 def find_bench_files(root: pathlib.Path):
@@ -77,11 +95,16 @@ def main() -> int:
     failures = []
     compared = 0
     for name, base_path in sorted(baselines.items()):
-        if name not in fresh:
+        fresh_name = RENAMED_BENCHES.get(name, name)
+        if fresh_name not in fresh:
             print(f"bench_compare: SKIP {name}: not emitted by this run")
             continue
+        if fresh_name != name:
+            print(f"bench_compare: NOTE {name}: driver renamed, comparing "
+                  f"against {fresh_name} (refresh the baseline under the "
+                  "new name)")
         base = load(base_path)
-        new = load(fresh[name])
+        new = load(fresh[fresh_name])
         if any(base.get(k) != new.get(k) for k in SCALE_KEYS):
             base_scale = {k: base.get(k) for k in SCALE_KEYS}
             new_scale = {k: new.get(k) for k in SCALE_KEYS}
@@ -104,7 +127,19 @@ def main() -> int:
             print(f"bench_compare: {verdict} {name}: events/sec "
                   f"{base_eps:,.0f} → {new_eps:,.0f} ({ratio:.2f}x)")
 
+        # Per-phase timings (Experiment-driven drivers): informational only.
+        phase_keys = sorted(k for k in new if k.startswith(PHASE_FIELD_PREFIX)
+                            and k in base)
+        for key in phase_keys:
+            base_s = float(base[key])
+            new_s = float(new[key])
+            drift = "" if base_s <= 0.0 else f" ({new_s / base_s:.2f}x)"
+            print(f"bench_compare: info {name}: {key} "
+                  f"{base_s:.3f}s → {new_s:.3f}s{drift}")
+
         for key, base_value in base.items():
+            if key.startswith(PHASE_FIELD_PREFIX):
+                continue  # informational, handled above
             if key.endswith("_allocs") and float(base_value) == 0.0:
                 new_value = float(new.get(key, 0.0))
                 if new_value != 0.0:
@@ -116,7 +151,8 @@ def main() -> int:
 
     # A fresh bench with no committed baseline is unguarded: surface it so
     # new drivers cannot silently escape the gate.
-    for name in sorted(set(fresh) - set(baselines)):
+    guarded = set(baselines) | {RENAMED_BENCHES.get(n, n) for n in baselines}
+    for name in sorted(set(fresh) - guarded):
         print(f"bench_compare: NOTICE {name}: no committed baseline — add "
               "one with --update-baselines to put it under the gate")
 

@@ -30,8 +30,6 @@ int main() {
   for (const auto kind : harness::all_protocol_kinds()) {
     for (const double rate : rates) {
       bench::Stopwatch watch;
-      auto net = bench::stabilized_network(kind, scale.nodes, scale.seed, 50);
-
       harness::ChurnConfig churn;
       churn.cycles = kChurnCycles;
       churn.joins_per_cycle =
@@ -39,20 +37,26 @@ int main() {
       churn.leaves_per_cycle = churn.joins_per_cycle;
       churn.graceful_fraction = 0.5;
       churn.probes_per_cycle = 2;
-      const auto stats = net->run_churn(churn);
 
-      const auto g = net->dissemination_graph(/*alive_only=*/true);
+      auto cluster = bench::sim_cluster(kind, scale.nodes, scale.seed);
+      const auto result =
+          cluster.run(harness::Experiment("churn_stability")
+                          .stabilize(50, bench::env_cycle_options())
+                          .churn(churn, "churn"));
+      const harness::ChurnStats& stats = result.phase("churn").churn;
+
+      const auto g = cluster->dissemination_graph(/*alive_only=*/true);
       const double connected =
           static_cast<double>(graph::largest_weakly_connected_component(g)) /
-          static_cast<double>(net->alive_count());
+          static_cast<double>(cluster->alive_count());
 
-      bench_json.add_events(net->simulator().events_processed());
+      bench_json.add_events(cluster->events_processed());
       table.add_row({harness::kind_name(kind),
                      analysis::fmt(rate * 100.0, 1),
                      analysis::fmt_percent(stats.avg_reliability, 1),
                      analysis::fmt_percent(stats.min_reliability, 1),
                      analysis::fmt_percent(connected, 1),
-                     analysis::fmt(net->view_accuracy(), 3)});
+                     analysis::fmt(cluster->view_accuracy(), 3)});
       std::printf("[%s @ %.1f%%/cycle: %.1fs (%zu joins, %zu leaves, %zu "
                   "crashes)]\n",
                   harness::kind_name(kind), rate * 100.0, watch.seconds(),

@@ -5,9 +5,22 @@
 //
 // Paper anchor points: Cyclon needs fanout 5 for >99% and 6 for ~99.9%;
 // Scamp needs fanout 6 for >99%.
+//
+// Pipeline: one declarative Experiment per (protocol, run) — stabilize,
+// then per fanout a set_fanout + measured-broadcast phase — run on a sim
+// Cluster. Bit-identical to the historical hand-rolled loop at a fixed
+// seed (pinned by experiment_test).
 #include "bench_common.hpp"
 
 using namespace hyparview;
+
+namespace {
+
+std::string fanout_label(std::size_t fanout) {
+  return "fanout" + std::to_string(fanout);
+}
+
+}  // namespace
 
 int main() {
   const auto scale = harness::BenchScale::from_env(/*messages=*/50);
@@ -23,15 +36,18 @@ int main() {
        {harness::ProtocolKind::kCyclon, harness::ProtocolKind::kScamp}) {
     for (std::size_t run = 0; run < scale.runs; ++run) {
       bench::Stopwatch watch;
-      auto net = bench::stabilized_network(kind, scale.nodes,
-                                           scale.seed + run, 50);
+      auto cluster = bench::sim_cluster(kind, scale.nodes, scale.seed + run);
+      harness::Experiment spec("fig1_sweep");
+      spec.stabilize(50, bench::env_cycle_options());
       for (const std::size_t fanout : fanouts) {
-        net->set_fanout(fanout);
-        std::vector<double> rels;
-        for (std::size_t m = 0; m < scale.messages; ++m) {
-          rels.push_back(net->broadcast_one().reliability());
-        }
-        const auto summary = analysis::summarize(rels);
+        spec.set_fanout(fanout).broadcast(scale.messages,
+                                          fanout_label(fanout));
+      }
+      const auto result = cluster.run(spec);
+
+      for (const std::size_t fanout : fanouts) {
+        const auto summary =
+            analysis::summarize(result.phase(fanout_label(fanout)).reliabilities);
         std::string paper;
         if (kind == harness::ProtocolKind::kCyclon && fanout == 5) {
           paper = ">99%";
@@ -44,7 +60,11 @@ int main() {
                        analysis::fmt_percent(summary.mean, 2),
                        analysis::fmt_percent(summary.min, 2), paper});
       }
-      bench_json.add_events(net->simulator().events_processed());
+      bench_json.add_events(cluster->events_processed());
+      if (run == 0) {
+        bench::add_phase_timings(bench_json, result,
+                                 std::string(harness::kind_name(kind)) + "_");
+      }
       std::printf("[%s run %zu done in %.1fs]\n", harness::kind_name(kind),
                   run, watch.seconds());
     }
@@ -52,14 +72,16 @@ int main() {
 
   // HyParView reference: flood of the active view (fanout column = |active|-1).
   {
-    auto net = bench::stabilized_network(harness::ProtocolKind::kHyParView,
-                                         scale.nodes, scale.seed, 50);
-    std::vector<double> rels;
-    for (std::size_t m = 0; m < scale.messages; ++m) {
-      rels.push_back(net->broadcast_one().reliability());
-    }
-    bench_json.add_events(net->simulator().events_processed());
-    const auto summary = analysis::summarize(rels);
+    auto cluster = bench::sim_cluster(harness::ProtocolKind::kHyParView,
+                                      scale.nodes, scale.seed);
+    const auto result =
+        cluster.run(harness::Experiment("fig1_reference")
+                        .stabilize(50, bench::env_cycle_options())
+                        .broadcast(scale.messages, "flood"));
+    bench_json.add_events(cluster->events_processed());
+    bench::add_phase_timings(bench_json, result, "HyParView_");
+    const auto summary =
+        analysis::summarize(result.phase("flood").reliabilities);
     table.add_row({"HyParView (flood)", "4*",
                    analysis::fmt_percent(summary.mean, 2),
                    analysis::fmt_percent(summary.min, 2), "100%"});

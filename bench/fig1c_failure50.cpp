@@ -3,6 +3,9 @@
 //
 // Paper anchor: reliability is lost — no message reaches more than ~85% of
 // the surviving nodes, many far fewer.
+//
+// Pipeline: stabilize → crash(0.5) → measured broadcasts, as one
+// declarative Experiment per protocol.
 #include "bench_common.hpp"
 
 using namespace hyparview;
@@ -19,14 +22,16 @@ int main() {
   for (const auto kind :
        {harness::ProtocolKind::kCyclon, harness::ProtocolKind::kScamp}) {
     bench::Stopwatch watch;
-    auto net = bench::stabilized_network(kind, scale.nodes, scale.seed, 50);
-    net->fail_random_fraction(0.5);
-    std::vector<double> rels;
-    for (std::size_t m = 0; m < scale.messages; ++m) {
-      rels.push_back(net->broadcast_one().reliability());
-    }
-    columns.push_back(std::move(rels));
-    bench_json.add_events(net->simulator().events_processed());
+    auto cluster = bench::sim_cluster(kind, scale.nodes, scale.seed);
+    const auto result =
+        cluster.run(harness::Experiment("fig1c")
+                        .stabilize(50, bench::env_cycle_options())
+                        .crash(0.5)
+                        .broadcast(scale.messages, "measure"));
+    columns.push_back(result.phase("measure").reliabilities);
+    bench_json.add_events(cluster->events_processed());
+    bench::add_phase_timings(bench_json, result,
+                             std::string(harness::kind_name(kind)) + "_");
     std::printf("[%s done in %.1fs]\n", harness::kind_name(kind),
                 watch.seconds());
   }

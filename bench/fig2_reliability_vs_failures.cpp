@@ -6,7 +6,8 @@
 // at 95%; CyclonAcked competitive up to ~70%; Cyclon and Scamp below 50%
 // reliability once failures exceed ~50%.
 //
-// Every (protocol, failure-fraction, run) point is an independent Network
+// Every (protocol, failure-fraction, run) point is an independent Cluster
+// running the same declarative Experiment (stabilize → crash → measure),
 // seeded from (config, seed) alone, so the sweep fans out across threads
 // (harness::SweepRunner, HPV_THREADS); per-point results and the aggregated
 // table are bit-identical to the serial loop.
@@ -53,16 +54,15 @@ int main() {
   jobs.reserve(points.size());
   for (Point& point : points) {
     jobs.push_back([&, p = &point] {
-      auto net = bench::stabilized_network(
-          p->kind, scale.nodes, scale.seed + p->run * 1000 + p->f, 50);
-      net->recorder().reserve(scale.messages);
-      net->fail_random_fraction(fractions[p->f]);
-      double acc = 0.0;
-      for (std::size_t m = 0; m < scale.messages; ++m) {
-        acc += net->broadcast_one().reliability();
-      }
-      p->reliability = acc / static_cast<double>(scale.messages);
-      p->events = net->simulator().events_processed();
+      auto cluster = bench::sim_cluster(p->kind, scale.nodes,
+                                        scale.seed + p->run * 1000 + p->f);
+      const auto result =
+          cluster.run(harness::Experiment("fig2_point")
+                          .stabilize(50, bench::env_cycle_options())
+                          .crash(fractions[p->f])
+                          .broadcast(scale.messages, "measure"));
+      p->reliability = result.phase("measure").avg_reliability();
+      p->events = cluster->events_processed();
       const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
       std::printf("[%s @ %.0f%% run %zu: %s]\n", harness::kind_name(p->kind),
                   fractions[p->f] * 100.0, p->run,

@@ -6,7 +6,8 @@
 // Cyclon and Scamp stay flat (no failure detector) until membership cycles
 // run.
 //
-// Each (fraction, protocol) series is an independent Network, so the whole
+// Each (fraction, protocol) series is an independent Cluster running the
+// same declarative Experiment (stabilize → crash → measure), so the whole
 // figure fans out across threads (harness::SweepRunner, HPV_THREADS) with
 // per-(config,seed) results bit-identical to the serial loop.
 #include "bench_common.hpp"
@@ -51,16 +52,16 @@ int main() {
   jobs.reserve(series.size());
   for (Series& s : series) {
     jobs.push_back([&, p = &s] {
-      auto net = bench::stabilized_network(
+      auto cluster = bench::sim_cluster(
           p->kind, scale.nodes,
-          scale.seed + static_cast<std::uint64_t>(p->fraction * 100), 50);
-      net->recorder().reserve(scale.messages);
-      net->fail_random_fraction(p->fraction);
-      p->rels.reserve(scale.messages);
-      for (std::size_t m = 0; m < scale.messages; ++m) {
-        p->rels.push_back(net->broadcast_one().reliability());
-      }
-      p->events = net->simulator().events_processed();
+          scale.seed + static_cast<std::uint64_t>(p->fraction * 100));
+      const auto result =
+          cluster.run(harness::Experiment("fig3_series")
+                          .stabilize(50, bench::env_cycle_options())
+                          .crash(p->fraction)
+                          .broadcast(scale.messages, "evolution"));
+      p->rels = result.phase("evolution").reliabilities;
+      p->events = cluster->events_processed();
       const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());
       std::printf("[%s @ %.0f%% done]\n", harness::kind_name(p->kind),
                   p->fraction * 100.0);

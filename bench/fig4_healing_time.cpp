@@ -45,7 +45,9 @@ int main() {
       const std::size_t slot = f * kinds.size() + k;
       jobs.push_back([&, fraction, kind, slot] {
         bench::Stopwatch watch;
-        auto cfg = harness::NetworkConfig::defaults_for(
+        // run_healing_experiment is itself a declarative Experiment spec on
+        // a sim Cluster (stabilize → baseline → crash → heal_until).
+        auto cfg = bench::sim_config(
             kind, scale.nodes,
             scale.seed + static_cast<std::uint64_t>(fraction * 100));
         harness::HealingConfig hcfg;

@@ -17,8 +17,10 @@ int main() {
 
   for (const auto kind : harness::all_protocol_kinds()) {
     bench::Stopwatch watch;
-    auto net = bench::stabilized_network(kind, scale.nodes, scale.seed, 50);
-    const auto g = net->dissemination_graph(false);
+    auto cluster = bench::sim_cluster(kind, scale.nodes, scale.seed);
+    cluster.run(harness::Experiment("fig5_stabilize")
+                    .stabilize(50, bench::env_cycle_options()));
+    const auto g = cluster->dissemination_graph(false);
     const auto hist = graph::in_degree_histogram(g);
     std::printf("\n%s (built in %.1fs):\n", harness::kind_name(kind),
                 watch.seconds());
@@ -47,7 +49,7 @@ int main() {
     }
     std::cout << table.to_string();
 
-    bench_json.add_events(net->simulator().events_processed());
+    bench_json.add_events(cluster->events_processed());
     const auto indeg = g.in_degrees();
     std::vector<double> values(indeg.begin(), indeg.end());
     const auto summary = analysis::summarize(values);

@@ -71,21 +71,23 @@ int main() {
 
   for (const auto kind : harness::all_protocol_kinds()) {
     bench::Stopwatch watch;
-    auto cfg = harness::NetworkConfig::defaults_for(kind, scale.nodes,
-                                                    scale.seed);
+    auto cfg = bench::sim_config(kind, scale.nodes, scale.seed);
     // This experiment meters wire cost, so CyclonAcked ships its ack frames
     // for real instead of the implicit transport-level modeling.
     cfg.gossip.explicit_acks = true;
-    auto net = std::make_unique<harness::Network>(cfg);
-    net->build();
-    net->run_cycles(50);
-    auto& sim = net->simulator();
+    auto cluster = harness::Cluster::sim(cfg);
+    cluster.run(harness::Experiment("overhead_stabilize")
+                    .stabilize(50, bench::env_cycle_options()));
+    harness::SimBackend& net = *cluster.sim_backend();
+    auto& sim = net.simulator();
 
-    // Phase 1: membership maintenance only.
+    // Phase 1: membership maintenance only (counters reset between the
+    // metered Experiment phases — runs compose on one Cluster).
     sim.reset_counters();
-    net->run_cycles(kMaintenanceCycles);
+    cluster.run(harness::Experiment("overhead_maintenance")
+                    .cycles(kMaintenanceCycles, bench::env_cycle_options()));
     const auto maintenance =
-        snapshot(sim, net->alive_count(), kMaintenanceCycles);
+        snapshot(sim, net.alive_count(), kMaintenanceCycles);
     maint.add_row({harness::kind_name(kind),
                    analysis::fmt(maintenance.msgs_per_node, 2),
                    analysis::fmt(maintenance.bytes_per_node, 1),
@@ -94,11 +96,14 @@ int main() {
     // Phase 2: dissemination only (stable overlay, no cycles in between —
     // the §5.2 regime).
     sim.reset_counters();
+    const auto dissemination = cluster.run(
+        harness::Experiment("overhead_dissemination")
+            .broadcast(scale.messages, "bcast"));
     std::size_t delivered = 0;
-    for (std::size_t m = 0; m < scale.messages; ++m) {
-      delivered += net->broadcast_one().delivered;
+    for (const auto& r : dissemination.phase("bcast").broadcasts) {
+      delivered += r.delivered;
     }
-    const auto traffic = snapshot(sim, net->alive_count(), scale.messages);
+    const auto traffic = snapshot(sim, net.alive_count(), scale.messages);
     const double bcasts = static_cast<double>(scale.messages);
     const double redundancy =
         delivered == 0 ? 0.0
@@ -106,10 +111,10 @@ int main() {
                                  static_cast<double>(delivered) -
                              1.0;
     double reliability_sum = 0.0;
-    for (const auto& r : net->recorder().results()) {
+    for (const auto& r : net.recorder().results()) {
       reliability_sum += r.reliability();
     }
-    const auto& results = net->recorder().results();
+    const auto& results = net.recorder().results();
     const std::size_t tail =
         std::min(results.size(), scale.messages);  // this phase's messages
     double tail_rel = 0.0;

@@ -35,9 +35,11 @@ int main() {
 
   for (const auto& row : rows) {
     bench::Stopwatch watch;
-    auto net = bench::stabilized_network(row.kind, scale.nodes, scale.seed, 50);
+    auto cluster = bench::sim_cluster(row.kind, scale.nodes, scale.seed);
+    cluster.run(harness::Experiment("table1_stabilize")
+                    .stabilize(50, bench::env_cycle_options()));
 
-    const auto g = net->dissemination_graph(false);
+    const auto g = cluster->dissemination_graph(false);
     const double clustering =
         graph::average_clustering(g.undirected_closure());
 
@@ -47,14 +49,16 @@ int main() {
 
     // "Maximum hops to delivery": average over messages of the last
     // delivery's hop distance.
+    const auto measure = cluster.run(
+        harness::Experiment("table1_hops").broadcast(scale.messages, "hops"));
     double hops_sum = 0.0;
-    for (std::size_t m = 0; m < scale.messages; ++m) {
-      hops_sum += net->broadcast_one().max_hops;
+    for (const auto& r : measure.phase("hops").broadcasts) {
+      hops_sum += r.max_hops;
     }
     const double avg_max_hops =
         hops_sum / static_cast<double>(std::max<std::size_t>(scale.messages, 1));
 
-    bench_json.add_events(net->simulator().events_processed());
+    bench_json.add_events(cluster->events_processed());
     table.add_row({harness::kind_name(row.kind),
                    analysis::fmt(clustering, 6), row.clustering,
                    analysis::fmt(paths.average_shortest_path, 5), row.asp,

@@ -1,130 +1,81 @@
-// HyParView over real TCP sockets: an in-process cluster on 127.0.0.1.
+// HyParView over real TCP sockets: an in-process cluster on 127.0.0.1,
+// driven through the backend-agnostic harness (harness::TcpBackend).
 //
 //   $ ./tcp_cluster [--nodes=16] [--msgs=5] [--kill=1]
 //
 // Starts N nodes (each with its own listening socket and HyParView
-// instance), joins them through node 0, runs shuffle rounds on a timer,
-// broadcasts, then hard-kills a node and shows the failure detector and
-// repair in action. Everything runs on one event loop thread — the same
-// protocol code the simulator executes, now over the kernel's TCP stack.
+// instance), joins them through node 0, runs shuffle rounds, broadcasts,
+// then hard-kills a node and shows the failure detector and repair in
+// action. The build → stabilize → measure → fail → re-measure pipeline is
+// a declarative harness::Experiment — the very same spec type (and
+// protocol code) the simulator figures run; only the Cluster factory
+// differs. Everything runs on one event loop thread over the kernel's TCP
+// stack.
 #include <cstdio>
-#include <memory>
-#include <unordered_set>
-#include <vector>
 
 #include "hyparview/common/options.hpp"
-#include "hyparview/core/hyparview.hpp"
-#include "hyparview/gossip/node_runtime.hpp"
-#include "hyparview/net/tcp_transport.hpp"
+#include "hyparview/harness/experiment.hpp"
+#include "hyparview/harness/tcp_backend.hpp"
 
 using namespace hyparview;
 
 namespace {
 
-class CountingObserver final : public gossip::DeliveryObserver {
- public:
-  void on_deliver(const NodeId& node, std::uint64_t msg_id,
-                  std::uint16_t /*hops*/) override {
-    deliveries[msg_id].insert(node.raw());
+void print_phase(const harness::ExperimentResult& result,
+                 const char* label, std::size_t cluster_size) {
+  const harness::PhaseResult& phase = result.phase(label);
+  for (std::size_t m = 0; m < phase.broadcasts.size(); ++m) {
+    const auto& r = phase.broadcasts[m];
+    std::printf("  msg %zu delivered to %zu/%zu nodes (%.1f%%)\n", m + 1,
+                r.delivered, cluster_size, 100.0 * r.reliability());
   }
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
-      deliveries;
-};
-
-struct TcpNode {
-  TcpNode(net::EventLoop& loop, gossip::DeliveryObserver* observer,
-          std::uint64_t seed) {
-    net::TcpTransportConfig tcfg;
-    tcfg.rng_seed = seed;
-    transport = std::make_unique<net::TcpTransport>(loop, nullptr, tcfg);
-    gossip::GossipConfig gcfg;
-    gcfg.mode = gossip::Mode::kFlood;
-    runtime = std::make_unique<gossip::NodeRuntime>(
-        *transport, std::make_unique<core::HyParView>(*transport, core::Config{}),
-        gcfg, observer);
-    transport->set_endpoint(runtime.get());
-  }
-
-  [[nodiscard]] core::HyParView& protocol() {
-    return static_cast<core::HyParView&>(runtime->protocol());
-  }
-
-  std::unique_ptr<net::TcpTransport> transport;
-  std::unique_ptr<gossip::NodeRuntime> runtime;
-};
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const auto node_count = static_cast<std::size_t>(args.get_int("nodes", 16));
-  const auto msgs = static_cast<std::uint64_t>(args.get_int("msgs", 5));
+  const auto msgs = static_cast<std::size_t>(args.get_int("msgs", 5));
   const bool kill_one = args.get_int("kill", 1) != 0;
 
-  net::EventLoop loop;
-  CountingObserver observer;
-  std::vector<std::unique_ptr<TcpNode>> nodes;
+  auto config = harness::TcpBackendConfig::defaults_for(
+      harness::ProtocolKind::kHyParView, node_count, /*seed=*/100);
+  auto cluster = harness::Cluster::tcp(config);
 
   std::printf("starting %zu TCP nodes on 127.0.0.1...\n", node_count);
-  for (std::size_t i = 0; i < node_count; ++i) {
-    nodes.push_back(std::make_unique<TcpNode>(loop, &observer, 100 + i));
-    std::printf("  node %2zu listening at %s\n", i,
-                nodes.back()->transport->local_id().to_string().c_str());
-  }
-
-  nodes[0]->protocol().start(std::nullopt);
-  for (std::size_t i = 1; i < node_count; ++i) {
-    nodes[i]->protocol().start(nodes[0]->transport->local_id());
-    loop.run_until([] { return false; }, milliseconds(15));
-  }
-  for (int c = 0; c < 3; ++c) {
-    for (auto& n : nodes) n->protocol().on_cycle();
-    loop.run_until([] { return false; }, milliseconds(50));
-  }
-
-  std::printf("\nbroadcasting %llu messages...\n",
-              static_cast<unsigned long long>(msgs));
-  for (std::uint64_t id = 1; id <= msgs; ++id) {
-    nodes[id % node_count]->runtime->gossip().broadcast(id);
-    loop.run_until(
-        [&] { return observer.deliveries[id].size() >= node_count; },
-        seconds(5));
-    std::printf("  msg %llu delivered to %zu/%zu nodes\n",
-                static_cast<unsigned long long>(id),
-                observer.deliveries[id].size(), node_count);
-  }
-
+  harness::Experiment spec("tcp_cluster_demo");
+  spec.stabilize(3).broadcast(msgs, "stable");
   if (kill_one && node_count > 3) {
-    const std::size_t victim = node_count / 2;
-    std::printf("\nhard-killing node %zu (%s) — no goodbye, TCP must "
-                "notice...\n",
-                victim, nodes[victim]->transport->local_id().to_string().c_str());
-    nodes[victim]->transport->shutdown();
-    auto dead = std::move(nodes[victim]);
-    nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(victim));
+    spec.leave(1, /*graceful_fraction=*/0.0, "hard_kill")
+        .broadcast(4, "post_crash")
+        .cycles(2, {}, "repair_rounds");
+  }
+  const harness::ExperimentResult result = cluster.run(spec);
 
-    for (std::uint64_t id = msgs + 1; id <= msgs + 4; ++id) {
-      nodes[id % nodes.size()]->runtime->gossip().broadcast(id);
-      loop.run_until(
-          [&] { return observer.deliveries[id].size() >= nodes.size(); },
-          seconds(5));
-      std::printf("  msg %llu delivered to %zu/%zu survivors\n",
-                  static_cast<unsigned long long>(id),
-                  observer.deliveries[id].size(), nodes.size());
-    }
-    for (auto& n : nodes) n->protocol().on_cycle();
-    loop.run_until([] { return false; }, milliseconds(100));
+  for (std::size_t i = 0; i < cluster->node_count(); ++i) {
+    std::printf("  node %2zu listening at %s\n", i,
+                cluster->id_of(i).to_string().c_str());
+  }
+
+  std::printf("\nbroadcasting %zu messages on the stable overlay...\n", msgs);
+  print_phase(result, "stable", node_count);
+
+  if (result.has_phase("post_crash")) {
+    std::printf("\nhard-killed one node (no goodbye — TCP had to notice); "
+                "%zu survivors:\n",
+                cluster->alive_count());
+    print_phase(result, "post_crash", cluster->alive_count());
   }
 
   std::printf("\nfinal active views:\n");
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    std::printf("  %s ->", nodes[i]->transport->local_id().to_string().c_str());
-    for (const auto& peer : nodes[i]->protocol().active_view()) {
+  for (std::size_t i = 0; i < cluster->node_count(); ++i) {
+    if (!cluster->alive(i)) continue;
+    std::printf("  %s ->", cluster->id_of(i).to_string().c_str());
+    for (const NodeId& peer : cluster->protocol(i).dissemination_view()) {
       std::printf(" %s", peer.to_string().c_str());
     }
     std::printf("\n");
   }
-
-  for (auto& n : nodes) n->transport->shutdown();
   return 0;
 }

@@ -1,0 +1,152 @@
+#include "hyparview/harness/backend.hpp"
+
+#include <algorithm>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview::harness {
+
+const char* kind_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kHyParView: return "HyParView";
+    case ProtocolKind::kCyclon: return "Cyclon";
+    case ProtocolKind::kCyclonAcked: return "CyclonAcked";
+    case ProtocolKind::kScamp: return "Scamp";
+  }
+  return "?";
+}
+
+const std::vector<ProtocolKind>& all_protocol_kinds() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kHyParView, ProtocolKind::kCyclonAcked,
+      ProtocolKind::kCyclon, ProtocolKind::kScamp};
+  return kinds;
+}
+
+std::size_t Backend::random_alive_node() {
+  HPV_CHECK(alive_count() > 0);
+  while (true) {
+    const auto i = static_cast<std::size_t>(rng().below(node_count()));
+    if (alive(i)) return i;
+  }
+}
+
+void Backend::leave_node(std::size_t i, bool graceful) {
+  HPV_CHECK(i < node_count());
+  if (!alive(i)) return;
+  if (graceful) protocol(i).leave();
+  // The process exits right after writing its goodbyes: it must not keep
+  // participating (e.g. accepting NEIGHBOR requests back into active
+  // views) while they are in flight. The writes themselves still flush —
+  // in-flight deliveries are unaffected by the sender's exit.
+  kill_node(i);
+  settle();
+}
+
+void Backend::fail_random_fraction(double fraction) {
+  HPV_CHECK_THROW(fraction >= 0.0 && fraction <= 1.0,
+                  "failure fraction must be within [0,1]");
+  std::vector<std::size_t> alive_ids;
+  alive_ids.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (alive(i)) alive_ids.push_back(i);
+  }
+  const auto count =
+      static_cast<std::size_t>(fraction * static_cast<double>(alive_ids.size()));
+  for (const std::size_t i : rng().sample(alive_ids, count)) {
+    kill_node(i);
+  }
+}
+
+analysis::MessageResult Backend::broadcast_one() {
+  return broadcast_from(random_alive_node());
+}
+
+std::vector<analysis::MessageResult> Backend::broadcast_many(
+    std::size_t count) {
+  std::vector<analysis::MessageResult> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(broadcast_one());
+  return out;
+}
+
+LeaveWaveStats Backend::leave_random(std::size_t count,
+                                     double graceful_fraction) {
+  LeaveWaveStats stats;
+  for (std::size_t l = 0; l < count; ++l) {
+    if (alive_count() <= 2) break;
+    const std::size_t victim = random_alive_node();
+    const bool graceful = rng().chance(graceful_fraction);
+    leave_node(victim, graceful);
+    ++(graceful ? stats.graceful : stats.crashes);
+  }
+  return stats;
+}
+
+graph::Digraph Backend::dissemination_graph(bool alive_only) const {
+  graph::Digraph g(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (alive_only && !alive(i)) continue;
+    for (const NodeId& peer : protocol(i).dissemination_view()) {
+      const std::size_t j = peer_slot(peer);
+      if (j == kNoPeer) continue;  // peer outside this cluster
+      if (alive_only && !alive(j)) continue;
+      g.add_edge(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+    }
+  }
+  g.dedupe();
+  return g;
+}
+
+double Backend::view_accuracy() const {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (!alive(i)) continue;
+    const auto view = protocol(i).dissemination_view();
+    if (view.empty()) continue;
+    std::size_t live = 0;
+    for (const NodeId& peer : view) {
+      const std::size_t j = peer_slot(peer);
+      if (j != kNoPeer && alive(j)) ++live;
+    }
+    sum += static_cast<double>(live) / static_cast<double>(view.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+ChurnStats Backend::run_churn(const ChurnConfig& cfg) {
+  HPV_CHECK(built());
+  ChurnStats stats;
+  for (std::size_t cycle = 0; cycle < cfg.cycles; ++cycle) {
+    for (std::size_t j = 0; j < cfg.joins_per_cycle; ++j) {
+      add_node();
+      ++stats.joins;
+    }
+    const LeaveWaveStats wave =
+        leave_random(cfg.leaves_per_cycle, cfg.graceful_fraction);
+    stats.graceful_leaves += wave.graceful;
+    stats.crashes += wave.crashes;
+    run_cycles(1);
+    if (cfg.probes_per_cycle > 0) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < cfg.probes_per_cycle; ++p) {
+        sum += broadcast_one().reliability();
+      }
+      const double reliability =
+          sum / static_cast<double>(cfg.probes_per_cycle);
+      stats.per_cycle_reliability.push_back(reliability);
+      stats.min_reliability = std::min(stats.min_reliability, reliability);
+    }
+  }
+  if (!stats.per_cycle_reliability.empty()) {
+    double total = 0.0;
+    for (const double r : stats.per_cycle_reliability) total += r;
+    stats.avg_reliability =
+        total / static_cast<double>(stats.per_cycle_reliability.size());
+  }
+  return stats;
+}
+
+}  // namespace hyparview::harness

@@ -1,0 +1,208 @@
+// Backend-agnostic experiment driving (§5 pipeline over any substrate).
+//
+// The paper's evaluation is one pipeline — build → stabilize → fail →
+// measure → heal — and a Backend is anything able to execute it: spawn and
+// kill nodes, drive membership rounds, inject faults, broadcast, snapshot
+// views. Two implementations exist:
+//
+//   * SimBackend (sim_backend.hpp) — the deterministic discrete-event
+//     simulator the figures run on;
+//   * TcpBackend (tcp_backend.hpp) — the same NodeRuntimes hosted on real
+//     net::TcpTransport instances sharing one EventLoop, realizing the
+//     deployment model of §4 ("TCP is also used as a failure detector").
+//
+// Protocol code never sees the difference (it is written against
+// membership::Env); this interface makes the *experiment drivers* equally
+// substrate-blind. Workloads whose step sequence is already expressible in
+// the primitives — broadcast_one/many, run_churn, fail_random_fraction —
+// are implemented here once, so both backends share their exact RNG-draw
+// order (the foundation of the sim backend's bit-identical guarantees).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hyparview/analysis/broadcast_recorder.hpp"
+#include "hyparview/common/node_id.hpp"
+#include "hyparview/common/rng.hpp"
+#include "hyparview/graph/digraph.hpp"
+#include "hyparview/membership/protocol.hpp"
+
+namespace hyparview::harness {
+
+enum class ProtocolKind : std::uint8_t {
+  kHyParView,
+  kCyclon,
+  kCyclonAcked,
+  kScamp,
+};
+
+[[nodiscard]] const char* kind_name(ProtocolKind kind);
+
+/// All four protocols, in the order the paper reports them.
+[[nodiscard]] const std::vector<ProtocolKind>& all_protocol_kinds();
+
+/// Tuning for Backend::run_cycles.
+struct CycleOptions {
+  /// Periodic node actions injected per quiescence drain (sim backend).
+  /// 1 (default) reproduces PeerSim cycle semantics — each node's round
+  /// traffic settles before the next node acts — and is pinned
+  /// bit-identical to the historical per-node-drain path. Larger batches
+  /// let the traffic of `batch` actions (possibly spanning round
+  /// boundaries) interleave under one drain: statistically equivalent
+  /// rounds, different (still deterministic) event orders — a bench-scale
+  /// mode, not the §5 methodology. The TCP backend has no quiescence
+  /// notion and always settles once per round.
+  std::size_t batch = 1;
+};
+
+/// Continuous-churn workload: every cycle some nodes join, some leave
+/// (gracefully or by crashing), one membership round runs, and probe
+/// broadcasts measure the reliability the application sees meanwhile.
+struct ChurnConfig {
+  std::size_t cycles = 50;
+  std::size_t joins_per_cycle = 10;
+  std::size_t leaves_per_cycle = 10;
+  /// Probability that a departure is graceful (Protocol::leave) rather
+  /// than a crash.
+  double graceful_fraction = 0.5;
+  std::size_t probes_per_cycle = 2;
+};
+
+struct ChurnStats {
+  std::vector<double> per_cycle_reliability;
+  double avg_reliability = 0.0;
+  double min_reliability = 1.0;
+  std::size_t joins = 0;
+  std::size_t graceful_leaves = 0;
+  std::size_t crashes = 0;
+};
+
+/// Outcome of one leave_random wave.
+struct LeaveWaveStats {
+  std::size_t graceful = 0;
+  std::size_t crashes = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  Backend() = default;
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// "sim" / "tcp" — for reports and BENCH records.
+  [[nodiscard]] virtual const char* backend_name() const = 0;
+
+  // --- Lifecycle --------------------------------------------------------------
+
+  /// Creates all configured nodes and joins them one by one (no membership
+  /// rounds in between — the §5 bootstrap).
+  virtual void build() = 0;
+
+  [[nodiscard]] virtual bool built() const = 0;
+
+  /// Adds one node to the running system and joins it through a random
+  /// alive contact; the join traffic settles before returning. Returns the
+  /// new node's index.
+  virtual std::size_t add_node() = 0;
+
+  /// Crashes node `i` in place: no goodbyes, no settling — the §5 "massive
+  /// failure" primitive (detect-on-send semantics are the backend's job).
+  virtual void kill_node(std::size_t i) = 0;
+
+  /// Removes node `i` from the system: gracefully (Protocol::leave, then
+  /// the goodbyes drain, then the process exits) or as a crash. Settles
+  /// before returning.
+  virtual void leave_node(std::size_t i, bool graceful);
+
+  /// Crashes ⌊fraction · alive⌋ uniformly random alive nodes (no settling,
+  /// no failure notifications — detect-on-send).
+  virtual void fail_random_fraction(double fraction);
+
+  // --- Driving ----------------------------------------------------------------
+
+  /// Runs `n` membership rounds. In each round every alive node executes
+  /// its periodic action once, in random order; see CycleOptions for how
+  /// the resulting traffic is drained.
+  virtual void run_cycles(std::size_t n, const CycleOptions& options) = 0;
+
+  void run_cycles(std::size_t n) { run_cycles(n, CycleOptions{}); }
+
+  /// Lets in-flight traffic finish: run_until_quiescent on the simulator, a
+  /// bounded real-time wait on the TCP backend.
+  virtual void settle() = 0;
+
+  // --- Dissemination ----------------------------------------------------------
+
+  /// One broadcast from node `source` (must be alive); the broadcast (and
+  /// any reactive repair traffic it triggers) settles before returning.
+  virtual analysis::MessageResult broadcast_from(std::size_t source) = 0;
+
+  /// One broadcast from a uniformly random alive node.
+  analysis::MessageResult broadcast_one();
+
+  /// `count` sequential broadcasts (each settles before the next).
+  std::vector<analysis::MessageResult> broadcast_many(std::size_t count);
+
+  /// Changes the gossip fanout of every node (Figure 1 sweep).
+  virtual void set_fanout(std::size_t fanout) = 0;
+
+  // --- Workloads (shared implementations) -------------------------------------
+
+  /// Runs the continuous-churn workload (see ChurnConfig). Implemented on
+  /// the primitives above, so both backends execute the identical step
+  /// sequence.
+  virtual ChurnStats run_churn(const ChurnConfig& cfg);
+
+  /// `count` departures of random alive victims, each graceful with
+  /// probability `graceful_fraction` (stops early when only two nodes
+  /// remain). The single definition of the departure draw sequence — churn
+  /// cycles and Experiment leave phases both use it, keeping their
+  /// RNG-draw order in lockstep.
+  LeaveWaveStats leave_random(std::size_t count, double graceful_fraction);
+
+  /// Uniformly random alive node index (harness RNG stream).
+  [[nodiscard]] std::size_t random_alive_node();
+
+  // --- Graph snapshots (shared implementations) -------------------------------
+
+  /// Arcs = dissemination views of all nodes (dead nodes keep their last
+  /// views; pass alive_only=true to restrict to correct nodes). One
+  /// definition of the snapshot for both backends — peers resolve through
+  /// peer_slot().
+  [[nodiscard]] graph::Digraph dissemination_graph(bool alive_only) const;
+
+  /// Fraction of live out-neighbors, averaged over alive nodes (§2.3).
+  [[nodiscard]] double view_accuracy() const;
+
+  /// "Peer not in this cluster" sentinel for peer_slot().
+  static constexpr std::size_t kNoPeer = static_cast<std::size_t>(-1);
+
+  /// Index of the node a view entry refers to, or kNoPeer (sim: the dense
+  /// id itself; TCP: whoever currently owns that ip:port).
+  [[nodiscard]] virtual std::size_t peer_slot(const NodeId& peer) const = 0;
+
+  // --- Access -----------------------------------------------------------------
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+  [[nodiscard]] virtual std::size_t alive_count() const = 0;
+  [[nodiscard]] virtual bool alive(std::size_t i) const = 0;
+  [[nodiscard]] virtual NodeId id_of(std::size_t i) const = 0;
+  [[nodiscard]] virtual membership::Protocol& protocol(std::size_t i) = 0;
+  [[nodiscard]] virtual const membership::Protocol& protocol(
+      std::size_t i) const = 0;
+  [[nodiscard]] virtual analysis::BroadcastRecorder& recorder() = 0;
+
+  /// Harness-level random stream (failure selection, source selection...).
+  [[nodiscard]] virtual Rng& rng() = 0;
+
+  /// Events dispatched so far — simulator events on the sim backend;
+  /// *gossip deliveries + duplicates observed* on the TCP backend (its
+  /// membership control frames are not metered). Perf accounting only; the
+  /// two are not comparable across backends.
+  [[nodiscard]] virtual std::uint64_t events_processed() const = 0;
+};
+
+}  // namespace hyparview::harness

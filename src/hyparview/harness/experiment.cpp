@@ -1,0 +1,287 @@
+#include "hyparview/harness/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/harness/tcp_backend.hpp"
+
+namespace hyparview::harness {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double average(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+Experiment& Experiment::stabilize(std::size_t n, CycleOptions options,
+                                  std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kCycles;
+  p.label = std::move(label);
+  p.cycles = n;
+  p.cycle_options = options;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::cycles(std::size_t n, CycleOptions options,
+                               std::string label) {
+  return stabilize(n, options, std::move(label));
+}
+
+Experiment& Experiment::set_fanout(std::size_t fanout, std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kSetFanout;
+  p.label = std::move(label);
+  p.fanout = fanout;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::crash(double fraction, std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kCrash;
+  p.label = std::move(label);
+  p.fraction = fraction;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::leave(std::size_t count, double graceful_fraction,
+                              std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kLeave;
+  p.label = std::move(label);
+  p.count = count;
+  p.fraction = graceful_fraction;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::broadcast(std::size_t count, std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kBroadcast;
+  p.label = std::move(label);
+  p.count = count;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::heal_until(std::string baseline_label,
+                                   std::size_t max_cycles,
+                                   std::size_t probes_per_cycle,
+                                   CycleOptions options, std::string label) {
+  HPV_CHECK_THROW(probes_per_cycle > 0,
+                  "heal_until needs at least one probe per cycle");
+  Phase p;
+  p.kind = PhaseKind::kHealUntil;
+  p.label = std::move(label);
+  p.cycles = max_cycles;
+  p.cycle_options = options;
+  p.count = probes_per_cycle;
+  p.baseline_label = std::move(baseline_label);
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::churn(const ChurnConfig& cfg, std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kChurn;
+  p.label = std::move(label);
+  p.churn = cfg;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::settle(std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kSettle;
+  p.label = std::move(label);
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+std::size_t Experiment::planned_broadcasts() const {
+  std::size_t total = 0;
+  for (const Phase& p : phases_) {
+    switch (p.kind) {
+      case PhaseKind::kBroadcast: total += p.count; break;
+      case PhaseKind::kHealUntil: total += p.cycles * p.count; break;
+      case PhaseKind::kChurn:
+        total += p.churn.cycles * p.churn.probes_per_cycle;
+        break;
+      default: break;
+    }
+  }
+  return total;
+}
+
+double PhaseResult::avg_reliability() const { return average(reliabilities); }
+
+double PhaseResult::min_reliability() const {
+  if (reliabilities.empty()) return 0.0;
+  return *std::min_element(reliabilities.begin(), reliabilities.end());
+}
+
+double PhaseResult::last_reliability() const {
+  return reliabilities.empty() ? 0.0 : reliabilities.back();
+}
+
+const PhaseResult& ExperimentResult::phase(const std::string& label) const {
+  for (const PhaseResult& p : phases) {
+    if (p.label == label) return p;
+  }
+  HPV_CHECK_THROW(false, "experiment result has no phase with that label");
+  return phases.front();  // unreachable
+}
+
+bool ExperimentResult::has_phase(const std::string& label) const {
+  for (const PhaseResult& p : phases) {
+    if (p.label == label) return true;
+  }
+  return false;
+}
+
+ExperimentResult run_experiment(Backend& backend, const Experiment& spec) {
+  ExperimentResult result;
+  result.name = spec.name();
+  result.backend = backend.backend_name();
+  const double run_start = now_seconds();
+  const std::uint64_t run_events_start = backend.events_processed();
+
+  if (!backend.built()) backend.build();
+  // Capacity semantics, and runs compose on one backend: reserve room for
+  // the broadcasts already recorded plus this spec's, so a later run never
+  // rehashes the recorder mid-measurement.
+  backend.recorder().reserve(backend.recorder().results().size() +
+                             spec.planned_broadcasts());
+
+  result.phases.reserve(spec.phases().size());
+  for (const Experiment::Phase& phase : spec.phases()) {
+    PhaseResult pr;
+    pr.label = phase.label;
+    pr.kind = phase.kind;
+    const double phase_start = now_seconds();
+    const std::uint64_t events_start = backend.events_processed();
+
+    switch (phase.kind) {
+      case Experiment::PhaseKind::kCycles:
+        backend.run_cycles(phase.cycles, phase.cycle_options);
+        break;
+      case Experiment::PhaseKind::kSetFanout:
+        backend.set_fanout(phase.fanout);
+        break;
+      case Experiment::PhaseKind::kCrash:
+        backend.fail_random_fraction(phase.fraction);
+        break;
+      case Experiment::PhaseKind::kLeave:
+        backend.leave_random(phase.count, phase.fraction);
+        break;
+      case Experiment::PhaseKind::kBroadcast:
+        pr.reliabilities.reserve(phase.count);
+        pr.broadcasts.reserve(phase.count);
+        for (std::size_t m = 0; m < phase.count; ++m) {
+          pr.broadcasts.push_back(backend.broadcast_one());
+          pr.reliabilities.push_back(pr.broadcasts.back().reliability());
+        }
+        break;
+      case Experiment::PhaseKind::kHealUntil: {
+        // The recovery target: the average reliability the referenced
+        // broadcast phase measured before the fault.
+        double baseline = 0.0;
+        bool found = false;
+        for (const PhaseResult& earlier : result.phases) {
+          if (earlier.label == phase.baseline_label) {
+            baseline = earlier.avg_reliability();
+            found = true;
+            break;
+          }
+        }
+        HPV_CHECK_THROW(found,
+                        "heal_until references an unknown baseline phase");
+        for (std::size_t cycle = 1; cycle <= phase.cycles; ++cycle) {
+          backend.run_cycles(1, phase.cycle_options);
+          double sum = 0.0;
+          for (std::size_t i = 0; i < phase.count; ++i) {
+            sum += backend.broadcast_one().reliability();
+          }
+          const double reliability = sum / static_cast<double>(phase.count);
+          pr.reliabilities.push_back(reliability);
+          if (reliability >= baseline) {
+            pr.cycles_to_heal = cycle;
+            pr.recovered = true;
+            break;
+          }
+        }
+        if (!pr.recovered) pr.cycles_to_heal = phase.cycles;
+        break;
+      }
+      case Experiment::PhaseKind::kChurn:
+        pr.churn = backend.run_churn(phase.churn);
+        pr.reliabilities = pr.churn.per_cycle_reliability;
+        break;
+      case Experiment::PhaseKind::kSettle:
+        backend.settle();
+        break;
+    }
+
+    pr.wall_seconds = now_seconds() - phase_start;
+    pr.events = backend.events_processed() - events_start;
+    result.phases.push_back(std::move(pr));
+  }
+
+  result.wall_seconds = now_seconds() - run_start;
+  result.events = backend.events_processed() - run_events_start;
+  return result;
+}
+
+Cluster Cluster::sim(const NetworkConfig& config) {
+  return Cluster(std::make_unique<SimBackend>(config));
+}
+
+Cluster Cluster::tcp(const TcpBackendConfig& config) {
+  return Cluster(std::make_unique<TcpBackend>(config));
+}
+
+ExperimentResult Cluster::run(const Experiment& spec) {
+  return run_experiment(*backend_, spec);
+}
+
+SimBackend* Cluster::sim_backend() {
+  return dynamic_cast<SimBackend*>(backend_.get());
+}
+
+HealingResult run_healing_experiment(const NetworkConfig& netcfg,
+                                     const HealingConfig& cfg) {
+  auto cluster = Cluster::sim(netcfg);
+  Experiment spec("healing");
+  spec.stabilize(cfg.stabilization_cycles)
+      .broadcast(cfg.probes_per_cycle, "baseline")
+      .crash(cfg.fail_fraction)
+      .heal_until("baseline", cfg.max_cycles, cfg.probes_per_cycle,
+                  CycleOptions{}, "heal");
+  const ExperimentResult run = cluster.run(spec);
+
+  HealingResult result;
+  result.baseline_reliability = run.phase("baseline").avg_reliability();
+  const PhaseResult& heal = run.phase("heal");
+  result.per_cycle_reliability = heal.reliabilities;
+  result.cycles_to_heal = heal.cycles_to_heal;
+  result.recovered = heal.recovered;
+  result.events_processed = cluster->events_processed();
+  return result;
+}
+
+}  // namespace hyparview::harness

@@ -1,0 +1,211 @@
+// Declarative experiment specs over any harness::Backend.
+//
+// The §5 evaluation pipeline — build → stabilize → fail → measure → heal —
+// used to be hand-rolled in every bench driver against the sim-only
+// harness. An Experiment captures it as data: an ordered list of phases
+// (membership rounds, fanout changes, fault injection, broadcast
+// measurements, healing loops, churn workloads), each with a label. The
+// runner executes the phases against a Backend and returns per-phase metric
+// sinks: wall seconds, backend events, and every broadcast's MessageResult.
+//
+// Because the runner invokes exactly the primitives the historical drivers
+// invoked, in the same order, a spec run on the sim backend is bit-identical
+// to the loop it replaced at a fixed seed (pinned by experiment_test). The
+// same spec object runs unmodified on the TCP backend — that is the point.
+//
+// Cluster is the owning handle: it pairs a backend with its config and runs
+// specs against it. Phases compose across run() calls (the backend is built
+// once), so drivers can interleave declarative phases with direct backend
+// access (counter resets, graph snapshots) where a figure needs it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hyparview/harness/backend.hpp"
+#include "hyparview/harness/sim_backend.hpp"
+
+namespace hyparview::harness {
+
+// The TCP substrate stays a forward declaration: including it here would
+// drag the epoll/socket stack into every sim-only driver and test (the
+// factories live in experiment.cpp). TCP users include tcp_backend.hpp.
+class TcpBackend;
+struct TcpBackendConfig;
+
+class Experiment {
+ public:
+  enum class PhaseKind : std::uint8_t {
+    kCycles,     ///< membership rounds (stabilization / healing)
+    kSetFanout,  ///< change every node's gossip fanout
+    kCrash,      ///< massive simultaneous crash of a fraction
+    kLeave,      ///< departures (graceful_fraction decides leave vs crash)
+    kBroadcast,  ///< measured broadcasts from random alive sources
+    kHealUntil,  ///< cycle+probe until a baseline phase's reliability
+    kChurn,      ///< continuous-churn workload
+    kSettle,     ///< let in-flight traffic finish (Backend::settle)
+  };
+
+  struct Phase {
+    PhaseKind kind = PhaseKind::kCycles;
+    std::string label;
+    std::size_t cycles = 0;        ///< kCycles; max cycles for kHealUntil
+    CycleOptions cycle_options{};  ///< kCycles / kHealUntil
+    std::size_t fanout = 0;        ///< kSetFanout
+    double fraction = 0.0;         ///< kCrash; graceful fraction for kLeave
+    std::size_t count = 0;         ///< kBroadcast; departures for kLeave;
+                                   ///< probes per cycle for kHealUntil
+    std::string baseline_label;    ///< kHealUntil reference phase
+    ChurnConfig churn{};           ///< kChurn
+  };
+
+  explicit Experiment(std::string name) : name_(std::move(name)) {}
+
+  /// `n` membership rounds (the paper's stabilization uses 50).
+  Experiment& stabilize(std::size_t n, CycleOptions options = {},
+                        std::string label = "stabilize");
+  /// Alias of stabilize with a healing-flavored default label.
+  Experiment& cycles(std::size_t n, CycleOptions options = {},
+                     std::string label = "cycles");
+  Experiment& set_fanout(std::size_t fanout, std::string label = "fanout");
+  Experiment& crash(double fraction, std::string label = "crash");
+  /// `count` departures of random alive nodes; each is graceful with
+  /// probability `graceful_fraction` (1.0 = pure graceful-leave wave).
+  Experiment& leave(std::size_t count, double graceful_fraction,
+                    std::string label = "leave");
+  Experiment& broadcast(std::size_t count, std::string label = "broadcast");
+  /// Repeats {one membership round, `probes_per_cycle` probe broadcasts}
+  /// until the per-cycle average reliability regains the average measured
+  /// by the earlier kBroadcast phase labeled `baseline_label`, or
+  /// `max_cycles` is reached (Figure 4's healing measurement). The baseline
+  /// phase must precede this one *within the same spec* — labels do not
+  /// resolve across separate run() calls.
+  Experiment& heal_until(std::string baseline_label, std::size_t max_cycles,
+                         std::size_t probes_per_cycle,
+                         CycleOptions options = {},
+                         std::string label = "heal");
+  Experiment& churn(const ChurnConfig& cfg, std::string label = "churn");
+  /// Drains in-flight traffic (e.g. crash notifications in the
+  /// notify-on-crash ablation) before the next measured phase.
+  Experiment& settle(std::string label = "settle");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Broadcasts the spec will record at most (recorder pre-sizing).
+  [[nodiscard]] std::size_t planned_broadcasts() const;
+
+ private:
+  std::string name_;
+  std::vector<Phase> phases_;
+};
+
+struct PhaseResult {
+  std::string label;
+  Experiment::PhaseKind kind = Experiment::PhaseKind::kCycles;
+  double wall_seconds = 0.0;
+  /// Backend events dispatched during this phase (sim: simulator events;
+  /// TCP: frames observed).
+  std::uint64_t events = 0;
+
+  /// kBroadcast: one entry per broadcast. kHealUntil/kChurn: one entry per
+  /// cycle (the per-cycle probe average).
+  std::vector<double> reliabilities;
+  /// kBroadcast only: the full per-message records.
+  std::vector<analysis::MessageResult> broadcasts;
+
+  // kHealUntil:
+  std::size_t cycles_to_heal = 0;
+  bool recovered = false;
+
+  // kChurn:
+  ChurnStats churn;
+
+  [[nodiscard]] double avg_reliability() const;
+  [[nodiscard]] double min_reliability() const;
+  [[nodiscard]] double last_reliability() const;
+};
+
+struct ExperimentResult {
+  std::string name;
+  std::string backend;
+  std::vector<PhaseResult> phases;
+  double wall_seconds = 0.0;
+  /// Backend events over the whole run (including build when the runner
+  /// performed it).
+  std::uint64_t events = 0;
+
+  /// First phase with this label (HPV_CHECK-fails when absent).
+  [[nodiscard]] const PhaseResult& phase(const std::string& label) const;
+  [[nodiscard]] bool has_phase(const std::string& label) const;
+};
+
+/// Executes `spec` against `backend`. Builds the backend first when the
+/// caller has not (so a spec always starts from the §5 bootstrap), and
+/// pre-sizes the recorder for the spec's planned broadcasts.
+ExperimentResult run_experiment(Backend& backend, const Experiment& spec);
+
+/// Owning backend handle: the user-facing entry point of the harness.
+///
+///   auto cluster = Cluster::sim(NetworkConfig::defaults_for(...));
+///   auto result  = cluster.run(Experiment("fig2")
+///                                  .stabilize(50)
+///                                  .crash(0.5)
+///                                  .broadcast(1000, "measure"));
+///
+/// The same spec runs over TCP by swapping the factory:
+///   auto cluster = Cluster::tcp(TcpBackendConfig::defaults_for(...));
+class Cluster {
+ public:
+  [[nodiscard]] static Cluster sim(const NetworkConfig& config);
+  [[nodiscard]] static Cluster tcp(const TcpBackendConfig& config);
+
+  /// Runs the spec (building first if needed). Consecutive run() calls
+  /// compose: the backend keeps its state between specs.
+  ExperimentResult run(const Experiment& spec);
+
+  [[nodiscard]] Backend& backend() { return *backend_; }
+  [[nodiscard]] const Backend& backend() const { return *backend_; }
+  Backend* operator->() { return backend_.get(); }
+
+  /// The sim backend, when this cluster is simulated (nullptr over TCP) —
+  /// for drivers that need simulator-only facilities (traffic counters,
+  /// fault injection beyond crashes).
+  [[nodiscard]] SimBackend* sim_backend();
+
+ private:
+  explicit Cluster(std::unique_ptr<Backend> backend)
+      : backend_(std::move(backend)) {}
+
+  std::unique_ptr<Backend> backend_;
+};
+
+// --- Healing-time experiment (Figure 4) --------------------------------------
+
+/// Cycles needed after a massive failure for probe broadcasts to regain the
+/// pre-failure reliability.
+struct HealingResult {
+  double baseline_reliability = 0.0;
+  std::vector<double> per_cycle_reliability;
+  std::size_t cycles_to_heal = 0;  ///< == per_cycle size if recovered
+  bool recovered = false;
+  std::uint64_t events_processed = 0;  ///< simulator events (perf accounting)
+};
+
+struct HealingConfig {
+  double fail_fraction = 0.5;
+  std::size_t probes_per_cycle = 10;  ///< paper: 10 random broadcasters
+  std::size_t max_cycles = 60;
+  std::size_t stabilization_cycles = 50;
+};
+
+/// Builds the network, stabilizes, measures the baseline, injects the
+/// failure and cycles until recovery (or max_cycles). Implemented as a
+/// declarative Experiment spec on a sim Cluster; bit-identical to the
+/// historical hand-rolled loop (healing_shard_test pins it).
+[[nodiscard]] HealingResult run_healing_experiment(const NetworkConfig& netcfg,
+                                                   const HealingConfig& cfg);
+
+}  // namespace hyparview::harness

@@ -1,225 +1,12 @@
-// Simulated-network experiment harness (§5 methodology).
+// Historical entry point of the simulated-network harness.
 //
-// Drives the full experiment pipeline used by every figure and table:
-//   build (nodes join one by one, no membership rounds in between)
-//   → run_cycles (stabilization: 50 membership rounds in the paper)
-//   → fail_random_fraction (massive simultaneous crash)
-//   → broadcast_* (reliability measurements; reactive steps still execute)
-//   → run_cycles + probes (healing measurements).
+// The experiment layer was split backend-agnostic (backend.hpp), with the
+// simulator implementation in sim_backend.hpp (`Network` survives as an
+// alias of SimBackend) and the declarative spec layer — Experiment, Cluster,
+// the healing experiment — in experiment.hpp. This header keeps old
+// includes compiling.
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "hyparview/analysis/broadcast_recorder.hpp"
-#include "hyparview/baselines/cyclon.hpp"
-#include "hyparview/baselines/scamp.hpp"
-#include "hyparview/core/hyparview.hpp"
-#include "hyparview/gossip/node_runtime.hpp"
-#include "hyparview/graph/digraph.hpp"
-#include "hyparview/sim/simulator.hpp"
-
-namespace hyparview::harness {
-
-enum class ProtocolKind : std::uint8_t {
-  kHyParView,
-  kCyclon,
-  kCyclonAcked,
-  kScamp,
-};
-
-[[nodiscard]] const char* kind_name(ProtocolKind kind);
-
-/// All four protocols, in the order the paper reports them.
-[[nodiscard]] const std::vector<ProtocolKind>& all_protocol_kinds();
-
-/// One heterogeneity class for the §6 "adaptive fanout" extension: nodes of
-/// this class run HyParView with the given view capacities. In the flood, a
-/// node's active-view size is exactly its fanout (and, by symmetry, its
-/// in-degree), so capacity classes realize degree adaptation.
-struct HyParViewClass {
-  /// Share of nodes assigned to this class (fractions should sum to ~1).
-  double fraction = 1.0;
-  std::size_t active_capacity = 5;
-  std::size_t passive_capacity = 30;
-};
-
-struct NetworkConfig {
-  ProtocolKind kind = ProtocolKind::kHyParView;
-  std::size_t node_count = 10'000;
-  std::uint64_t seed = 42;
-  /// Gossip fanout for the random-fanout protocols (paper: 4). HyParView's
-  /// flood is deterministic; its active view is sized fanout + 1.
-  std::size_t fanout = 4;
-
-  core::Config hyparview;              // paper defaults (§5.1)
-  baselines::CyclonConfig cyclon;      // view 35, shuffle 14, walk TTL 5
-  baselines::ScampConfig scamp;        // c = 4
-  gossip::GossipConfig gossip;         // mode derived from `kind`
-  sim::SimConfig sim;
-
-  /// Heterogeneous capacity classes for HyParView (empty = homogeneous,
-  /// i.e. `hyparview` everywhere). Assignment is random per node, seeded.
-  std::vector<HyParViewClass> hyparview_classes;
-
-  /// Contact-node policy: HyParView/Cyclon bootstrap through a single
-  /// contact (node 0); Scamp uses a random node already in the overlay
-  /// (the configurations §5 found to work best for each protocol).
-  [[nodiscard]] static NetworkConfig defaults_for(ProtocolKind kind,
-                                                  std::size_t nodes,
-                                                  std::uint64_t seed);
-};
-
-/// Continuous-churn workload: every cycle some nodes join, some leave
-/// (gracefully or by crashing), one membership round runs, and probe
-/// broadcasts measure the reliability the application sees meanwhile.
-struct ChurnConfig {
-  std::size_t cycles = 50;
-  std::size_t joins_per_cycle = 10;
-  std::size_t leaves_per_cycle = 10;
-  /// Probability that a departure is graceful (Protocol::leave) rather
-  /// than a crash.
-  double graceful_fraction = 0.5;
-  std::size_t probes_per_cycle = 2;
-};
-
-struct ChurnStats {
-  std::vector<double> per_cycle_reliability;
-  double avg_reliability = 0.0;
-  double min_reliability = 1.0;
-  std::size_t joins = 0;
-  std::size_t graceful_leaves = 0;
-  std::size_t crashes = 0;
-};
-
-/// Bootstrap tuning for Network::build().
-struct BuildOptions {
-  /// Joins started per drain. 1 (default) reproduces the paper's serial
-  /// bootstrap — each join's traffic settles before the next node joins.
-  /// Larger batches overlap the join traffic of `join_batch` nodes under
-  /// one incremental drain: statistically equivalent overlays, different
-  /// (still deterministic) event interleaving — a bench-scale mode, not the
-  /// §5 methodology.
-  std::size_t join_batch = 1;
-};
-
-class Network {
- public:
-  explicit Network(NetworkConfig config);
-  ~Network();
-
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  /// Creates all nodes and joins them (serially by default; see
-  /// BuildOptions), without membership rounds. Each drain is incremental:
-  /// only the events caused by the batch being joined are retired
-  /// (Simulator::run_until_quiescent_from), so pending unrelated work —
-  /// e.g. long-delay timers once protocols schedule them — cannot inflate
-  /// the bootstrap.
-  void build(const BuildOptions& options = {});
-
-  /// Runs `n` membership rounds. In each round every alive node executes
-  /// its periodic action once, in random order, and the resulting traffic
-  /// drains before the next node acts (PeerSim cycle semantics).
-  void run_cycles(std::size_t n);
-
-  /// Crashes ⌊fraction · alive⌋ uniformly random alive nodes. No failure
-  /// notifications are generated (detect-on-send model).
-  void fail_random_fraction(double fraction);
-
-  /// Adds one node to the running system and joins it through the
-  /// protocol's contact policy (random alive node). The join traffic
-  /// drains before returning. Returns the new node's index.
-  std::size_t add_node();
-
-  /// Removes node `i` from the system: gracefully (Protocol::leave, then
-  /// the goodbyes drain, then the process exits) or as a crash.
-  void leave_node(std::size_t i, bool graceful);
-
-  /// One broadcast from a uniformly random correct node; drains the network
-  /// (including any reactive repair traffic) and returns the record.
-  analysis::MessageResult broadcast_one();
-
-  /// One broadcast from node `source` (must be alive); same draining
-  /// semantics. Lets scenarios pick responsive sources explicitly — a
-  /// blocked node initiates nothing, so broadcasting "from" it measures
-  /// only that the process is frozen.
-  analysis::MessageResult broadcast_from(std::size_t source);
-
-  /// `count` sequential broadcasts (each drains before the next).
-  std::vector<analysis::MessageResult> broadcast_many(std::size_t count);
-
-  /// Changes the gossip fanout of every node (Figure 1 sweep).
-  void set_fanout(std::size_t fanout);
-
-  /// Runs the continuous-churn workload (see ChurnConfig).
-  ChurnStats run_churn(const ChurnConfig& cfg);
-
-  // --- Graph snapshots --------------------------------------------------------
-
-  /// Arcs = dissemination views of all nodes (dead nodes keep their last
-  /// views; pass alive_only=true to restrict to correct nodes).
-  [[nodiscard]] graph::Digraph dissemination_graph(bool alive_only) const;
-
-  /// Fraction of live out-neighbors, averaged over alive nodes (§2.3).
-  [[nodiscard]] double view_accuracy() const;
-
-  // --- Access -----------------------------------------------------------------
-
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
-  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
-  [[nodiscard]] analysis::BroadcastRecorder& recorder() { return recorder_; }
-  [[nodiscard]] std::size_t node_count() const { return runtimes_.size(); }
-  [[nodiscard]] std::size_t alive_count() const { return sim_.alive_count(); }
-  [[nodiscard]] membership::Protocol& protocol(std::size_t i);
-  [[nodiscard]] gossip::NodeRuntime& runtime(std::size_t i);
-  [[nodiscard]] NodeId id_of(std::size_t i) const;
-  [[nodiscard]] bool alive(std::size_t i) const;
-  [[nodiscard]] std::vector<bool> alive_mask() const;
-  [[nodiscard]] const NetworkConfig& config() const { return config_; }
-  /// Heterogeneity class of node `i` (always 0 when classes are unset).
-  [[nodiscard]] std::size_t node_class(std::size_t i) const;
-
- private:
-  [[nodiscard]] std::unique_ptr<membership::Protocol> make_protocol(
-      membership::Env& env, std::size_t index);
-  [[nodiscard]] std::size_t pick_alive_index();
-  [[nodiscard]] std::size_t assign_class();
-
-  NetworkConfig config_;
-  sim::Simulator sim_;
-  analysis::BroadcastRecorder recorder_;
-  std::vector<std::unique_ptr<gossip::NodeRuntime>> runtimes_;
-  std::vector<std::size_t> class_of_;
-  /// Reused random-order scratch of run_cycles (steady-state alloc-free).
-  std::vector<std::size_t> cycle_order_;
-  std::uint64_t next_msg_id_ = 1;
-  bool built_ = false;
-};
-
-/// Healing-time experiment (Figure 4): cycles needed after a massive failure
-/// for probe broadcasts to regain the pre-failure reliability.
-struct HealingResult {
-  double baseline_reliability = 0.0;
-  std::vector<double> per_cycle_reliability;
-  std::size_t cycles_to_heal = 0;  ///< == per_cycle size if recovered
-  bool recovered = false;
-  std::uint64_t events_processed = 0;  ///< simulator events (perf accounting)
-};
-
-struct HealingConfig {
-  double fail_fraction = 0.5;
-  std::size_t probes_per_cycle = 10;  ///< paper: 10 random broadcasters
-  std::size_t max_cycles = 60;
-  std::size_t stabilization_cycles = 50;
-};
-
-/// Builds the network, stabilizes, measures the baseline, injects the
-/// failure and cycles until recovery (or max_cycles).
-[[nodiscard]] HealingResult run_healing_experiment(const NetworkConfig& netcfg,
-                                                   const HealingConfig& cfg);
-
-}  // namespace hyparview::harness
+#include "hyparview/harness/backend.hpp"       // IWYU pragma: export
+#include "hyparview/harness/experiment.hpp"    // IWYU pragma: export
+#include "hyparview/harness/sim_backend.hpp"   // IWYU pragma: export

@@ -1,4 +1,4 @@
-#include "hyparview/harness/network.hpp"
+#include "hyparview/harness/sim_backend.hpp"
 
 #include <algorithm>
 #include <numeric>
@@ -7,23 +7,6 @@
 #include "hyparview/common/logging.hpp"
 
 namespace hyparview::harness {
-
-const char* kind_name(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kHyParView: return "HyParView";
-    case ProtocolKind::kCyclon: return "Cyclon";
-    case ProtocolKind::kCyclonAcked: return "CyclonAcked";
-    case ProtocolKind::kScamp: return "Scamp";
-  }
-  return "?";
-}
-
-const std::vector<ProtocolKind>& all_protocol_kinds() {
-  static const std::vector<ProtocolKind> kinds = {
-      ProtocolKind::kHyParView, ProtocolKind::kCyclonAcked,
-      ProtocolKind::kCyclon, ProtocolKind::kScamp};
-  return kinds;
-}
 
 NetworkConfig NetworkConfig::defaults_for(ProtocolKind kind,
                                           std::size_t nodes,
@@ -75,15 +58,15 @@ NetworkConfig NetworkConfig::defaults_for(ProtocolKind kind,
   return cfg;
 }
 
-Network::Network(NetworkConfig config)
+SimBackend::SimBackend(NetworkConfig config)
     : config_(config), sim_(config.sim) {
   HPV_CHECK_THROW(config_.node_count >= 2,
                   "network needs at least two nodes");
 }
 
-Network::~Network() = default;
+SimBackend::~SimBackend() = default;
 
-std::size_t Network::assign_class() {
+std::size_t SimBackend::assign_class() {
   if (config_.hyparview_classes.empty()) return 0;
   const double roll = sim_.rng().unit();
   double cumulative = 0.0;
@@ -94,12 +77,12 @@ std::size_t Network::assign_class() {
   return config_.hyparview_classes.size() - 1;  // fractions under-summed
 }
 
-std::size_t Network::node_class(std::size_t i) const {
+std::size_t SimBackend::node_class(std::size_t i) const {
   HPV_CHECK(i < class_of_.size());
   return class_of_[i];
 }
 
-std::unique_ptr<membership::Protocol> Network::make_protocol(
+std::unique_ptr<membership::Protocol> SimBackend::make_protocol(
     membership::Env& env, std::size_t index) {
   switch (config_.kind) {
     case ProtocolKind::kHyParView: {
@@ -121,7 +104,7 @@ std::unique_ptr<membership::Protocol> Network::make_protocol(
   return nullptr;
 }
 
-void Network::build(const BuildOptions& options) {
+void SimBackend::build(const BuildOptions& options) {
   HPV_CHECK(!built_);
   HPV_CHECK_THROW(options.join_batch >= 1, "join_batch must be >= 1");
   built_ = true;
@@ -160,38 +143,39 @@ void Network::build(const BuildOptions& options) {
   }
 }
 
-void Network::run_cycles(std::size_t n) {
+void SimBackend::run_cycles(std::size_t n, const CycleOptions& options) {
+  HPV_CHECK_THROW(options.batch >= 1, "cycle batch must be >= 1");
   // Reused member scratch: run_cycles sits inside the membership-phase
   // steady state (micro_sim_events gates it allocation-free), so the random
   // round order must not cost a vector per call.
   cycle_order_.resize(runtimes_.size());
   std::iota(cycle_order_.begin(), cycle_order_.end(), 0);
+  // batch == 1 is the PeerSim semantics the figures use: each node's round
+  // traffic settles before the next node acts — one quiescence drain per
+  // alive node per round, exactly the historical loop. Larger batches
+  // amortize the drain over `batch` periodic actions; the counter carries
+  // across round boundaries, so batch > node_count overlaps whole rounds.
+  std::size_t pending = 0;
   for (std::size_t round = 0; round < n; ++round) {
     sim_.rng().shuffle(cycle_order_);
     for (const std::size_t i : cycle_order_) {
       if (!alive(i)) continue;
       runtimes_[i]->protocol().on_cycle();
-      sim_.run_until_quiescent();
+      if (++pending >= options.batch) {
+        sim_.run_until_quiescent();
+        pending = 0;
+      }
     }
   }
+  if (pending > 0) sim_.run_until_quiescent();
 }
 
-void Network::fail_random_fraction(double fraction) {
-  HPV_CHECK_THROW(fraction >= 0.0 && fraction <= 1.0,
-                  "failure fraction must be within [0,1]");
-  std::vector<std::size_t> alive_ids;
-  alive_ids.reserve(runtimes_.size());
-  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    if (alive(i)) alive_ids.push_back(i);
-  }
-  const auto count =
-      static_cast<std::size_t>(fraction * static_cast<double>(alive_ids.size()));
-  for (const std::size_t i : sim_.rng().sample(alive_ids, count)) {
-    sim_.crash(id_of(i));
-  }
+void SimBackend::kill_node(std::size_t i) {
+  HPV_CHECK(i < runtimes_.size());
+  sim_.crash(id_of(i));
 }
 
-std::size_t Network::add_node() {
+std::size_t SimBackend::add_node() {
   HPV_CHECK(built_);
   // Checked before the node is created: once the joiner exists it is itself
   // alive, and the contact-selection loop below would otherwise spin
@@ -211,74 +195,13 @@ std::size_t Network::add_node() {
   // Every protocol joins a live system through a random alive contact (the
   // single-contact bootstrap of build() is a cold-start artifact).
   std::size_t contact = index;
-  while (contact == index) contact = pick_alive_index();
+  while (contact == index) contact = random_alive_node();
   runtimes_[index]->protocol().start(id_of(contact));
   sim_.run_until_quiescent();
   return index;
 }
 
-void Network::leave_node(std::size_t i, bool graceful) {
-  HPV_CHECK(i < runtimes_.size());
-  if (!alive(i)) return;
-  if (graceful) runtimes_[i]->protocol().leave();
-  // The process exits right after writing its goodbyes: it must not keep
-  // participating (e.g. accepting NEIGHBOR requests back into active
-  // views) while they are in flight. The writes themselves still flush —
-  // in-flight deliveries are unaffected by the sender's exit.
-  sim_.crash(id_of(i));
-  sim_.run_until_quiescent();
-}
-
-ChurnStats Network::run_churn(const ChurnConfig& cfg) {
-  HPV_CHECK(built_);
-  ChurnStats stats;
-  for (std::size_t cycle = 0; cycle < cfg.cycles; ++cycle) {
-    for (std::size_t j = 0; j < cfg.joins_per_cycle; ++j) {
-      add_node();
-      ++stats.joins;
-    }
-    for (std::size_t l = 0; l < cfg.leaves_per_cycle; ++l) {
-      if (sim_.alive_count() <= 2) break;
-      const std::size_t victim = pick_alive_index();
-      const bool graceful = sim_.rng().chance(cfg.graceful_fraction);
-      leave_node(victim, graceful);
-      ++(graceful ? stats.graceful_leaves : stats.crashes);
-    }
-    run_cycles(1);
-    if (cfg.probes_per_cycle > 0) {
-      double sum = 0.0;
-      for (std::size_t p = 0; p < cfg.probes_per_cycle; ++p) {
-        sum += broadcast_one().reliability();
-      }
-      const double reliability =
-          sum / static_cast<double>(cfg.probes_per_cycle);
-      stats.per_cycle_reliability.push_back(reliability);
-      stats.min_reliability = std::min(stats.min_reliability, reliability);
-    }
-  }
-  if (!stats.per_cycle_reliability.empty()) {
-    double total = 0.0;
-    for (const double r : stats.per_cycle_reliability) total += r;
-    stats.avg_reliability =
-        total / static_cast<double>(stats.per_cycle_reliability.size());
-  }
-  return stats;
-}
-
-std::size_t Network::pick_alive_index() {
-  HPV_CHECK(sim_.alive_count() > 0);
-  while (true) {
-    const auto i =
-        static_cast<std::size_t>(sim_.rng().below(runtimes_.size()));
-    if (alive(i)) return i;
-  }
-}
-
-analysis::MessageResult Network::broadcast_one() {
-  return broadcast_from(pick_alive_index());
-}
-
-analysis::MessageResult Network::broadcast_from(std::size_t source) {
+analysis::MessageResult SimBackend::broadcast_from(std::size_t source) {
   HPV_CHECK(source < runtimes_.size() && alive(source));
   const std::uint64_t msg_id = next_msg_id_++;
   recorder_.begin_message(msg_id, sim_.alive_count());
@@ -287,108 +210,37 @@ analysis::MessageResult Network::broadcast_from(std::size_t source) {
   return recorder_.result(msg_id);
 }
 
-std::vector<analysis::MessageResult> Network::broadcast_many(
-    std::size_t count) {
-  std::vector<analysis::MessageResult> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) out.push_back(broadcast_one());
-  return out;
-}
-
-void Network::set_fanout(std::size_t fanout) {
+void SimBackend::set_fanout(std::size_t fanout) {
   config_.fanout = fanout;
   for (auto& runtime : runtimes_) runtime->gossip().set_fanout(fanout);
 }
 
-graph::Digraph Network::dissemination_graph(bool alive_only) const {
-  graph::Digraph g(runtimes_.size());
-  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    if (alive_only && !alive(i)) continue;
-    for (const NodeId& peer : runtimes_[i]->protocol().dissemination_view()) {
-      if (alive_only && !sim_.alive(peer)) continue;
-      g.add_edge(static_cast<std::uint32_t>(i), peer.ip);
-    }
-  }
-  g.dedupe();
-  return g;
-}
-
-double Network::view_accuracy() const {
-  double sum = 0.0;
-  std::size_t counted = 0;
-  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    if (!alive(i)) continue;
-    const auto view = runtimes_[i]->protocol().dissemination_view();
-    if (view.empty()) continue;
-    std::size_t live = 0;
-    for (const NodeId& peer : view) {
-      if (sim_.alive(peer)) ++live;
-    }
-    sum += static_cast<double>(live) / static_cast<double>(view.size());
-    ++counted;
-  }
-  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
-}
-
-membership::Protocol& Network::protocol(std::size_t i) {
+membership::Protocol& SimBackend::protocol(std::size_t i) {
   HPV_CHECK(i < runtimes_.size());
   return runtimes_[i]->protocol();
 }
 
-gossip::NodeRuntime& Network::runtime(std::size_t i) {
+const membership::Protocol& SimBackend::protocol(std::size_t i) const {
+  HPV_CHECK(i < runtimes_.size());
+  return runtimes_[i]->protocol();
+}
+
+gossip::NodeRuntime& SimBackend::runtime(std::size_t i) {
   HPV_CHECK(i < runtimes_.size());
   return *runtimes_[i];
 }
 
-NodeId Network::id_of(std::size_t i) const {
+NodeId SimBackend::id_of(std::size_t i) const {
   HPV_CHECK(i < runtimes_.size());
   return NodeId::from_index(static_cast<std::uint32_t>(i));
 }
 
-bool Network::alive(std::size_t i) const { return sim_.alive(id_of(i)); }
+bool SimBackend::alive(std::size_t i) const { return sim_.alive(id_of(i)); }
 
-std::vector<bool> Network::alive_mask() const {
+std::vector<bool> SimBackend::alive_mask() const {
   std::vector<bool> mask(runtimes_.size());
   for (std::size_t i = 0; i < runtimes_.size(); ++i) mask[i] = alive(i);
   return mask;
-}
-
-HealingResult run_healing_experiment(const NetworkConfig& netcfg,
-                                     const HealingConfig& cfg) {
-  Network net(netcfg);
-  net.build();
-  net.run_cycles(cfg.stabilization_cycles);
-
-  HealingResult result;
-  // Pre-failure baseline: the reliability this protocol must regain.
-  {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < cfg.probes_per_cycle; ++i) {
-      sum += net.broadcast_one().reliability();
-    }
-    result.baseline_reliability = sum / static_cast<double>(cfg.probes_per_cycle);
-  }
-
-  net.fail_random_fraction(cfg.fail_fraction);
-
-  for (std::size_t cycle = 1; cycle <= cfg.max_cycles; ++cycle) {
-    net.run_cycles(1);
-    double sum = 0.0;
-    for (std::size_t i = 0; i < cfg.probes_per_cycle; ++i) {
-      sum += net.broadcast_one().reliability();
-    }
-    const double reliability =
-        sum / static_cast<double>(cfg.probes_per_cycle);
-    result.per_cycle_reliability.push_back(reliability);
-    if (reliability >= result.baseline_reliability) {
-      result.cycles_to_heal = cycle;
-      result.recovered = true;
-      break;
-    }
-  }
-  if (!result.recovered) result.cycles_to_heal = cfg.max_cycles;
-  result.events_processed = net.simulator().events_processed();
-  return result;
 }
 
 }  // namespace hyparview::harness

@@ -1,0 +1,106 @@
+// Cluster-scale HyParView over real TCP sockets through the backend-
+// agnostic harness: 32 nodes, each with its own listening socket and
+// connection cache, driven by the same declarative Experiment spec the sim
+// backend runs — the §5 reliability pipeline (stabilize → crash a fraction
+// → probe broadcasts) with the protocol code unchanged.
+//
+// Registered under the `net` label, so the TSan CI job covers it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hyparview/harness/experiment.hpp"
+#include "hyparview/harness/tcp_backend.hpp"
+
+#include "support/test_tiers.hpp"
+
+namespace hyparview::harness {
+namespace {
+
+/// The shared reliability scenario: warm probes on the stable overlay, a
+/// 25% crash wave, traffic-driven repair, then the probes that must reach
+/// every survivor again. One spec object, two backends.
+Experiment reliability_spec() {
+  Experiment spec("cross_backend_reliability");
+  spec.stabilize(3)
+      .broadcast(3, "warm")
+      .crash(0.25)
+      .broadcast(6, "repair")
+      .cycles(2)
+      .broadcast(4, "probe");
+  return spec;
+}
+
+TEST(TcpBackendTest, ThirtyTwoNodeReliabilityScenario) {
+  auto cluster = Cluster::tcp(
+      TcpBackendConfig::defaults_for(ProtocolKind::kHyParView, 32, 1234));
+  const ExperimentResult result = cluster.run(reliability_spec());
+
+  EXPECT_EQ(result.backend, std::string("tcp"));
+  EXPECT_EQ(cluster->alive_count(), 24u);  // 32 - ⌊0.25·32⌋
+
+  // Stable overlay: the flood reaches every node over real sockets.
+  EXPECT_GE(result.phase("warm").avg_reliability(), 0.99);
+  // After the crash wave + repair traffic + two shuffle rounds, probes
+  // must reach (essentially) every survivor again. Real-socket timing is
+  // not deterministic, so the floor is a hair under the sim's 100%.
+  EXPECT_GE(result.phase("probe").last_reliability(), 0.95);
+  EXPECT_GT(cluster->events_processed(), 0u);
+}
+
+TEST(TcpBackendTest, SameSpecSameProtocolCodeOnSimBackend) {
+  auto cluster = Cluster::sim(
+      NetworkConfig::defaults_for(ProtocolKind::kHyParView, 32, 1234));
+  const ExperimentResult result = cluster.run(reliability_spec());
+
+  EXPECT_EQ(result.backend, std::string("sim"));
+  EXPECT_EQ(cluster->alive_count(), 24u);
+  EXPECT_GE(result.phase("warm").avg_reliability(), 0.99);
+  // The deterministic substrate holds the paper's full promise.
+  EXPECT_GE(result.phase("probe").avg_reliability(), 0.99);
+}
+
+TEST(TcpBackendTest, GracefulLeavePurgesActiveViewsWithoutFailureDetection) {
+  auto cluster = Cluster::tcp(
+      TcpBackendConfig::defaults_for(ProtocolKind::kHyParView, 12, 77));
+  cluster.run(Experiment("stabilize_only").stabilize(3));
+
+  Backend& b = cluster.backend();
+  // Three graceful departures (Protocol::leave): goodbyes must flush and
+  // survivors must drop the leavers before any failure detector could run.
+  std::vector<NodeId> leavers;
+  for (std::size_t victim : {std::size_t{2}, std::size_t{5}, std::size_t{9}}) {
+    leavers.push_back(b.id_of(victim));
+    b.leave_node(victim, /*graceful=*/true);
+  }
+  for (std::size_t i = 0; i < b.node_count(); ++i) {
+    if (!b.alive(i)) continue;
+    for (const NodeId& peer : b.protocol(i).dissemination_view()) {
+      for (const NodeId& leaver : leavers) {
+        EXPECT_NE(peer, leaver) << "node " << i << " kept a graceful leaver";
+      }
+    }
+  }
+  // And the smaller cluster still floods completely.
+  const auto probe = b.broadcast_one();
+  EXPECT_EQ(probe.delivered, b.alive_count());
+}
+
+TEST(TcpBackendTest, ElasticGrowthJoinsThroughRandomContacts) {
+  HPV_FULL_TIER_ONLY();
+  auto cluster = Cluster::tcp(
+      TcpBackendConfig::defaults_for(ProtocolKind::kHyParView, 8, 5));
+  cluster.run(Experiment("stabilize_only").stabilize(2));
+  Backend& b = cluster.backend();
+  const std::size_t added_a = b.add_node();
+  const std::size_t added_b = b.add_node();
+  b.run_cycles(2);
+  EXPECT_EQ(b.alive_count(), 10u);
+  EXPECT_FALSE(b.protocol(added_a).dissemination_view().empty());
+  EXPECT_FALSE(b.protocol(added_b).dissemination_view().empty());
+  const auto probe = b.broadcast_one();
+  EXPECT_EQ(probe.delivered, 10u);
+}
+
+}  // namespace
+}  // namespace hyparview::harness

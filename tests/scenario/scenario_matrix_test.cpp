@@ -48,6 +48,8 @@ enum class Fault : std::uint8_t {
   kPartition,     ///< asymmetric cut: reset every link crossing a
                   ///< minority(`intensity`)/majority split at once
   kSpikeChurn,    ///< combined fault: ~50× latency held through churn
+  kGracefulLeave, ///< `intensity` of nodes depart via Protocol::leave —
+                  ///< goodbyes, not crashes: repair must be proactive
 };
 
 struct ScenarioCase {
@@ -77,6 +79,10 @@ struct ScenarioCase {
       case Fault::kLatencySpike: fault_name = "latency"; break;
       case Fault::kPartition: fault_name = "partition"; break;
       case Fault::kSpikeChurn: fault_name = "spikechurn"; break;
+      case Fault::kGracefulLeave:
+        fault_name =
+            "leave" + std::to_string(static_cast<int>(intensity * 100));
+        break;
     }
     std::string prefix;
     if (kind != ProtocolKind::kHyParView) {
@@ -111,6 +117,7 @@ std::vector<ScenarioCase> make_grid() {
       grid.push_back({Fault::kLatencySpike, 100.0, n, seed, 0.99});
       grid.push_back({Fault::kPartition, 0.125, n, seed, 0.99});
       grid.push_back({Fault::kSpikeChurn, 50.0, n, seed, 0.99});
+      grid.push_back({Fault::kGracefulLeave, 0.25, n, seed, 0.99});
     }
   }
   // Baseline slice: no reactive failure detector, so the floors reflect
@@ -227,6 +234,37 @@ class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioCase> {
         EXPECT_GT(spiked.avg_reliability, c.min_churn_reliability)
             << "reliability under churn during the latency spike";
         net.simulator().set_latency(sim_cfg.latency_min, sim_cfg.latency_max);
+        break;
+      }
+      case Fault::kGracefulLeave: {
+        // A wave of graceful departures (Protocol::leave): each node says
+        // goodbye, the goodbyes drain, then it exits. Unlike a crash the
+        // survivors repair *proactively* — before the healing traffic
+        // below, no responsive node may still hold a leaver in its
+        // dissemination view (the failure detector never had to fire).
+        const auto count = static_cast<std::size_t>(
+            c.intensity * static_cast<double>(c.nodes));
+        std::vector<NodeId> left;
+        // Deterministic victims 1..count (0 stays: the bootstrap contact
+        // departing is a different scenario than a turnover wave).
+        for (std::size_t i = 1; i <= count; ++i) {
+          left.push_back(net.id_of(i));
+          net.leave_node(i, /*graceful=*/true);
+        }
+        if (c.kind == ProtocolKind::kHyParView) {
+          std::size_t stale = 0;
+          for (std::size_t i = 0; i < net.node_count(); ++i) {
+            if (!net.alive(i)) continue;
+            for (const NodeId& peer :
+                 net.protocol(i).dissemination_view()) {
+              if (std::find(left.begin(), left.end(), peer) != left.end()) {
+                ++stale;
+              }
+            }
+          }
+          EXPECT_EQ(stale, 0u)
+              << "active views still hold gracefully departed nodes";
+        }
         break;
       }
     }
