@@ -20,9 +20,11 @@ drop the record out of the gate (an old-named baseline whose new-named fresh
 record exists is compared under the new name).
 
 Per-phase timing fields (phase_seconds_*, emitted by the Experiment-driven
-drivers) are informational: they are reported when both records carry them
-but never gate — phase walls are too machine-noisy to fail on, the
-aggregate events/sec already captures regressions.
+drivers) and A/B ratio fields (speedup_*, emitted by the calendar_queue
+scheduler driver) are informational: they are reported when both records
+carry them but never gate — walls and ratios of walls are too machine-noisy
+to fail on. Per-structure throughputs (*_events_per_second, e.g. the
+scheduler A/B's heap/calendar rates) gate exactly like the aggregate.
 
 Baselines are machine-relative. Refresh them on the reference machine with:
 
@@ -46,8 +48,17 @@ SCALE_KEYS = ("nodes", "messages", "runs", "seed", "quick")
 # then refresh the baseline under the new name at the next opportunity.
 RENAMED_BENCHES = {}
 
-# Informational per-record fields: reported, never gated.
+# Informational per-record fields: reported, never gated. phase_seconds_*
+# are too machine-noisy to fail on; speedup_* (the scheduler A/B driver's
+# calendar-vs-heap and drain-batching ratios) are ratios of two noisy walls.
+INFO_FIELD_PREFIXES = ("phase_seconds_", "speedup_")
 PHASE_FIELD_PREFIX = "phase_seconds_"
+
+# Per-structure throughput fields (e.g. the calendar_queue driver's
+# heap_events_per_second / calendar_events_per_second) gate exactly like the
+# aggregate events_per_second: a regression in one scheduler must not hide
+# inside a combined-run aggregate.
+RATE_FIELD_SUFFIX = "_events_per_second"
 
 
 def find_bench_files(root: pathlib.Path):
@@ -113,32 +124,37 @@ def main() -> int:
             continue
         compared += 1
 
-        base_eps = float(base.get("events_per_second", 0.0))
-        new_eps = float(new.get("events_per_second", 0.0))
-        if base_eps > 0.0:
+        rate_keys = ["events_per_second"] + sorted(
+            k for k in base if k.endswith(RATE_FIELD_SUFFIX))
+        for rate_key in rate_keys:
+            base_eps = float(base.get(rate_key, 0.0))
+            new_eps = float(new.get(rate_key, 0.0))
+            if base_eps <= 0.0:
+                continue
             ratio = new_eps / base_eps
             verdict = "OK"
             if ratio < 1.0 - args.tolerance:
                 verdict = "FAIL"
                 failures.append(
-                    f"{name}: events/sec regressed {base_eps:,.0f} → "
+                    f"{name}: {rate_key} regressed {base_eps:,.0f} → "
                     f"{new_eps:,.0f} ({ratio:.2f}x, tolerance "
                     f"{1.0 - args.tolerance:.2f}x)")
-            print(f"bench_compare: {verdict} {name}: events/sec "
+            print(f"bench_compare: {verdict} {name}: {rate_key} "
                   f"{base_eps:,.0f} → {new_eps:,.0f} ({ratio:.2f}x)")
 
-        # Per-phase timings (Experiment-driven drivers): informational only.
-        phase_keys = sorted(k for k in new if k.startswith(PHASE_FIELD_PREFIX)
-                            and k in base)
-        for key in phase_keys:
-            base_s = float(base[key])
-            new_s = float(new[key])
-            drift = "" if base_s <= 0.0 else f" ({new_s / base_s:.2f}x)"
+        # Informational fields (phase walls, A/B speedup ratios): reported
+        # when both records carry them, never gated.
+        info_keys = sorted(k for k in new
+                           if k.startswith(INFO_FIELD_PREFIXES) and k in base)
+        for key in info_keys:
+            base_v = float(base[key])
+            new_v = float(new[key])
+            drift = "" if base_v <= 0.0 else f" ({new_v / base_v:.2f}x)"
             print(f"bench_compare: info {name}: {key} "
-                  f"{base_s:.3f}s → {new_s:.3f}s{drift}")
+                  f"{base_v:.3f} → {new_v:.3f}{drift}")
 
         for key, base_value in base.items():
-            if key.startswith(PHASE_FIELD_PREFIX):
+            if key.startswith(INFO_FIELD_PREFIXES):
                 continue  # informational, handled above
             if key.endswith("_allocs") and float(base_value) == 0.0:
                 new_value = float(new.get(key, 0.0))

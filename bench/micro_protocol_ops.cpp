@@ -73,8 +73,12 @@ void BM_HyParViewWarmCacheRefresh(benchmark::State& state) {
   for (std::uint32_t i = 0; i < cfg.active_capacity; ++i) {
     proto.handle(nid(100 + i), wire::Join{});
   }
+  // A full-capacity reply (the flat wire format bounds shuffle lists at
+  // kMaxShuffleEntries) seeds the passive view for the refresh loop.
   std::vector<NodeId> entries;
-  for (std::uint32_t i = 0; i < 30; ++i) entries.push_back(nid(200 + i));
+  for (std::uint32_t i = 0; i < wire::kMaxShuffleEntries; ++i) {
+    entries.push_back(nid(200 + i));
+  }
   proto.handle(nid(99), wire::ShuffleReply{{}, entries});
   for (auto _ : state) {
     proto.on_cycle();

@@ -176,6 +176,15 @@ analysis::MessageResult TcpBackend::broadcast_from(std::size_t source) {
   // without a failure detector legitimately stall below full delivery, and
   // waiting the whole timeout per probe would turn a partial-delivery
   // measurement into minutes of dead air.
+  //
+  // Two edge cases the cutoff must get right (tcp_backend_test pins both):
+  //  * before the first observation there is no "last progress" to go
+  //    quiet from — slow connection establishment must not be misread as a
+  //    stalled flood, so the quiet cutoff only engages once something has
+  //    been seen;
+  //  * a flood that never produces an observation (or a quiet window
+  //    misconfigured above the timeout) must still terminate: the hard
+  //    `broadcast_timeout` deadline inside run_until is the backstop.
   std::uint64_t last_seen = 0;
   TimePoint last_progress = loop_.now();
   loop_.run_until(
@@ -184,11 +193,17 @@ analysis::MessageResult TcpBackend::broadcast_from(std::size_t source) {
         if (r.delivered >= expect) return true;
         const std::uint64_t seen =
             static_cast<std::uint64_t>(r.delivered) + r.duplicates;
+        const TimePoint now = loop_.now();
         if (seen != last_seen) {
           last_seen = seen;
-          last_progress = loop_.now();
+          last_progress = now;
+          return false;  // progress this very poll; the window restarts
         }
-        return loop_.now() - last_progress > config_.broadcast_quiet_window;
+        // Same monotonic clock on both sides, but clamp anyway: a negative
+        // elapsed must read as "not quiet yet", never as an underflowed
+        // huge gap that ends the wait instantly.
+        const Duration quiet = now > last_progress ? now - last_progress : 0;
+        return last_seen > 0 && quiet > config_.broadcast_quiet_window;
       },
       config_.broadcast_timeout);
   return recorder_.result(msg_id);

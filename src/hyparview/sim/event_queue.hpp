@@ -1,0 +1,135 @@
+// Pluggable event-scheduler front end: binary heap or calendar queue.
+//
+// The simulator's pending-event set is the structure that decides whether
+// 100k-node runs are routine or a 10x extrapolation (ROADMAP item 2: the PR
+// 5 cycle-batching experiment lost 2x to heap growth alone). The calendar
+// queue (calendar_queue.hpp) is the default; the heap stays selectable so
+// every measurement ships with its own A/B:
+//
+//   HPV_EVENT_QUEUE=heap      — the historical MinHeap
+//   HPV_EVENT_QUEUE=calendar  — bucketed near-horizon lanes (default)
+//
+// Both structures pop the strict (at, seq) minimum, so a run is
+// bit-identical under either at a fixed seed — the property
+// event_queue_property_test pins and the calendar_queue bench enforces at
+// scale. Selection is one never-changing branch per operation (both
+// structures live inline; the unused one stays empty), not a virtual call
+// in a 20M-events/sec loop.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/common/options.hpp"
+#include "hyparview/common/time.hpp"
+#include "hyparview/sim/calendar_queue.hpp"
+#include "hyparview/sim/min_heap.hpp"
+
+namespace hyparview::sim {
+
+enum class EventQueueKind : std::uint8_t {
+  kAuto,      ///< resolve from HPV_EVENT_QUEUE (default: calendar)
+  kHeap,      ///< binary MinHeap (the pre-calendar scheduler)
+  kCalendar,  ///< calendar queue sized from the live latency band
+};
+
+/// Resolves kAuto through HPV_EVENT_QUEUE. Unknown values throw CheckError:
+/// an A/B measurement silently running the wrong structure is worse than a
+/// failed run.
+inline EventQueueKind resolve_event_queue_kind(EventQueueKind configured) {
+  if (configured != EventQueueKind::kAuto) return configured;
+  const auto env = env_string("HPV_EVENT_QUEUE");
+  if (!env.has_value() || *env == "calendar") return EventQueueKind::kCalendar;
+  if (*env == "heap") return EventQueueKind::kHeap;
+  throw CheckError("HPV_EVENT_QUEUE must be 'heap' or 'calendar', got '" +
+                   *env + "'");
+}
+
+inline const char* event_queue_kind_name(EventQueueKind kind) {
+  return kind == EventQueueKind::kHeap ? "heap" : "calendar";
+}
+
+/// T must expose `.at` and `.seq`; both structures order by exactly that
+/// pair, so the popped sequences coincide.
+template <typename T>
+class EventQueue {
+ public:
+  struct AtSeqLess {
+    bool operator()(const T& a, const T& b) const {
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
+    }
+  };
+
+  EventQueue(EventQueueKind kind, Duration band_max)
+      : kind_(resolve_event_queue_kind(kind)) {
+    HPV_ASSERT(kind_ != EventQueueKind::kAuto);
+    if (is_calendar()) calendar_.set_band(0, band_max);
+  }
+
+  [[nodiscard]] bool is_calendar() const {
+    return kind_ == EventQueueKind::kCalendar;
+  }
+  [[nodiscard]] EventQueueKind kind() const { return kind_; }
+  [[nodiscard]] const char* name() const {
+    return event_queue_kind_name(kind_);
+  }
+
+  [[nodiscard]] bool empty() const {
+    return is_calendar() ? calendar_.empty() : heap_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return is_calendar() ? calendar_.size() : heap_.size();
+  }
+
+  void reserve(std::size_t n) {
+    if (is_calendar()) {
+      calendar_.reserve(n);
+    } else {
+      heap_.reserve(n);
+    }
+  }
+
+  void push(T item) {
+    if (is_calendar()) {
+      calendar_.push(std::move(item));
+    } else {
+      heap_.push(std::move(item));
+    }
+  }
+
+  T pop() { return is_calendar() ? calendar_.pop() : heap_.pop(); }
+
+  void clear() {
+    if (is_calendar()) {
+      calendar_.clear();
+    } else {
+      heap_.clear();
+    }
+  }
+
+  /// Latency-band change (set_latency): the calendar re-derives its bucket
+  /// width so a spike cannot pile the new horizon into a few buckets; the
+  /// heap is band-oblivious.
+  void set_band(Duration band_min, Duration band_max) {
+    if (is_calendar()) calendar_.set_band(band_min, band_max);
+  }
+
+  /// Visits every pending event in unspecified order.
+  template <typename F>
+  void for_each(F&& fn) const {
+    if (is_calendar()) {
+      calendar_.for_each(std::forward<F>(fn));
+    } else {
+      for (const T& item : heap_.items()) fn(item);
+    }
+  }
+
+ private:
+  EventQueueKind kind_;
+  MinHeap<T, AtSeqLess> heap_;
+  CalendarQueue<T> calendar_;
+};
+
+}  // namespace hyparview::sim

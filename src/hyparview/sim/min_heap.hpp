@@ -35,9 +35,17 @@ class MinHeap {
   T pop() {
     HPV_ASSERT(!items_.empty());
     T out = std::move(items_.front());
-    items_.front() = std::move(items_.back());
-    items_.pop_back();
-    if (!items_.empty()) sift_down(0);
+    // With one element, front() and back() alias: the hole-filling move
+    // below would be a self-move-assignment, which non-trivial Ts (the
+    // EventLoop's TimerTask closures, test payloads) are allowed to
+    // clobber on. Skip straight to the shrink instead.
+    if (items_.size() > 1) {
+      items_.front() = std::move(items_.back());
+      items_.pop_back();
+      sift_down(0);
+    } else {
+      items_.pop_back();
+    }
     return out;
   }
 

@@ -49,14 +49,34 @@ class SimEnv final : public membership::Env {
 // take/release and no allocation happens on put once the slab is warm.
 static_assert(std::is_trivially_copyable_v<wire::Message>);
 
+namespace {
+
+/// CheckError (not abort) on a bad config: the band is caller input, and an
+/// inverted band would otherwise surface as a modulo-by-zero or an
+/// underflowed uniform draw deep inside draw_latency.
+SimConfig validated(SimConfig config) {
+  HPV_CHECK_THROW(config.latency_min >= 0,
+                  "SimConfig: latency_min must be >= 0");
+  HPV_CHECK_THROW(config.latency_max >= config.latency_min,
+                  "SimConfig: inverted latency band (latency_min > "
+                  "latency_max); a zero-width band (min == max) is the way "
+                  "to model fixed latency");
+  return config;
+}
+
+}  // namespace
+
 Simulator::Simulator(SimConfig config)
-    : config_(config),
+    : config_(validated(config)),
       master_rng_(derive_seed(config.seed, 0)),
       latency_rng_(derive_seed(config.seed, 1)),
+      // The wheel year must cover the failure-detection delay too: those
+      // events ride just behind the message band, and parking them in the
+      // far list would make every crash wave pay the overflow sweep.
+      queue_(config_.event_queue,
+             std::max(config_.latency_max, config_.failure_detect_delay)),
       sent_by_type_(std::variant_size_v<wire::Message>, 0),
       bytes_by_type_(std::variant_size_v<wire::Message>, 0) {
-  HPV_CHECK(config_.latency_min >= 0 &&
-            config_.latency_max >= config_.latency_min);
   // Pre-size the hot containers once: after warm-up, pushing an event is a
   // POD store plus sift, never a reallocation.
   queue_.reserve(config_.initial_event_capacity);
@@ -219,9 +239,16 @@ std::size_t Simulator::drop_random_links(double fraction) {
 }
 
 void Simulator::set_latency(Duration min, Duration max) {
-  HPV_CHECK(min >= 0 && max >= min);
+  HPV_CHECK_THROW(min >= 0, "set_latency: latency_min must be >= 0");
+  HPV_CHECK_THROW(max >= min,
+                  "set_latency: inverted latency band (min > max); use "
+                  "min == max for fixed latency");
   config_.latency_min = min;
   config_.latency_max = max;
+  // A spike stretches the arrival horizon: re-derive the calendar's bucket
+  // width so the new band spreads across the wheel instead of piling into
+  // a few buckets (no-op on the heap).
+  queue_.set_band(min, std::max(max, config_.failure_detect_delay));
 }
 
 membership::Env& Simulator::env(const NodeId& id) {
@@ -244,9 +271,9 @@ std::uint64_t Simulator::run_until_quiescent_from(std::uint64_t watermark) {
   bounded_drain_active_ = true;
   bounded_watermark_ = watermark;
   bounded_pending_ = 0;
-  for (const Event& ev : queue_.items()) {
+  queue_.for_each([&](const Event& ev) {
     if (ev.seq >= watermark) ++bounded_pending_;
-  }
+  });
   std::uint64_t processed = 0;
   while (bounded_pending_ > 0) {
     // The queue cannot be empty while watermarked events are outstanding.
@@ -599,6 +626,8 @@ void Simulator::release_message(const Event& ev) {
 }
 
 Duration Simulator::draw_latency() {
+  // Zero-width band = fixed latency, decided without consuming an RNG draw;
+  // the validated band (min <= max) keeps the modulus below >= 1.
   if (config_.latency_max == config_.latency_min) return config_.latency_min;
   return config_.latency_min +
          static_cast<Duration>(latency_rng_.below(static_cast<std::uint64_t>(

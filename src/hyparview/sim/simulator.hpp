@@ -30,7 +30,7 @@
 #include "hyparview/membership/endpoint.hpp"
 #include "hyparview/membership/env.hpp"
 #include "hyparview/membership/wire.hpp"
-#include "hyparview/sim/min_heap.hpp"
+#include "hyparview/sim/event_queue.hpp"
 #include "hyparview/sim/slot_pool.hpp"
 
 namespace hyparview::sim {
@@ -56,6 +56,10 @@ struct SimConfig {
   /// Events (and payload slots) pre-reserved at construction so steady-state
   /// runs never grow the queue or the payload slabs.
   std::size_t initial_event_capacity = 4096;
+  /// Pending-event structure: kAuto resolves HPV_EVENT_QUEUE (default
+  /// calendar; heap kept for A/B). Either pops the same strict (at, seq)
+  /// order, so runs are bit-identical at a fixed seed.
+  EventQueueKind event_queue = EventQueueKind::kAuto;
 };
 
 /// Per-node upcall interface; implemented by gossip::NodeRuntime.
@@ -115,8 +119,13 @@ class Simulator {
 
   /// Changes the one-way latency band for subsequently scheduled messages
   /// (latency-spike fault injection). In-flight messages keep the latency
-  /// they were scheduled with.
+  /// they were scheduled with. Throws CheckError on an inverted band
+  /// (min > max) or a negative minimum; min == max (fixed latency) is valid.
   void set_latency(Duration min, Duration max);
+
+  /// Which pending-event structure this simulator runs on ("heap" or
+  /// "calendar") — bench records tag their measurements with it.
+  [[nodiscard]] const char* event_queue_name() const { return queue_.name(); }
 
   /// Total events dispatched since construction (perf accounting).
   [[nodiscard]] std::uint64_t events_processed() const {
@@ -226,13 +235,6 @@ class Simulator {
   };
   static_assert(std::is_trivially_copyable_v<Event>);
 
-  struct EventLess {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at < b.at;
-      return a.seq < b.seq;
-    }
-  };
-
   /// One event buffered in a blocked node's inbox. A frozen application
   /// misses its timers, but everything the *network* hands it — message
   /// deliveries, send-failure reports, connect results, link closes — is a
@@ -332,7 +334,11 @@ class Simulator {
   Rng master_rng_;
   Rng latency_rng_;
   std::vector<SimNode> nodes_;
-  MinHeap<Event, EventLess> queue_;
+  /// Pending events, popped in strict (at, seq) order regardless of the
+  /// selected structure (heap for A/B, calendar by default — see
+  /// event_queue.hpp). The calendar's bucket width tracks the latency band
+  /// (set_latency re-buckets).
+  EventQueue<Event> queue_;
   /// Payload slabs, free-list recycled (see slot_pool.hpp). One per payload
   /// kind so slots are homogeneous and reuse is exact. Gossip frames get
   /// their own compact slab (Event::gossip) — they dominate broadcast

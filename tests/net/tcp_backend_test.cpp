@@ -7,6 +7,7 @@
 // Registered under the `net` label, so the TSan CI job covers it.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 
 #include "hyparview/harness/experiment.hpp"
@@ -100,6 +101,59 @@ TEST(TcpBackendTest, ElasticGrowthJoinsThroughRandomContacts) {
   EXPECT_FALSE(b.protocol(added_b).dissemination_view().empty());
   const auto probe = b.broadcast_one();
   EXPECT_EQ(probe.delivered, 10u);
+}
+
+TEST(TcpBackendTest, NeverDeliveringBroadcastTerminatesAtHardTimeout) {
+  // Cyclon at fanout 0 (random-fanout gossip, zero targets — HyParView
+  // would flood its active view regardless): the source delivers its own
+  // broadcast locally and the gossip then goes nowhere. With the quiet
+  // window configured far above the hard timeout, termination must come
+  // from broadcast_timeout — the wait must neither hang (regression: a
+  // never-delivering broadcast outliving its deadline) nor be cut short by
+  // a quiet-window misfire before the first observation.
+  TcpBackendConfig config =
+      TcpBackendConfig::defaults_for(ProtocolKind::kCyclon, 4, 9);
+  config.broadcast_timeout = milliseconds(300);
+  config.broadcast_quiet_window = seconds(30);  // > timeout, on purpose
+  TcpBackend backend(config);
+  backend.build();
+  backend.settle();
+  backend.set_fanout(0);
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::MessageResult result = backend.broadcast_from(0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // Only the source's own local delivery can have landed.
+  EXPECT_LT(result.delivered, backend.alive_count());
+  // Ended by the hard timeout: not instantly (no pre-progress quiet-window
+  // misfire)…
+  EXPECT_GE(elapsed, std::chrono::milliseconds(250));
+  // …and not wedged until the 30 s quiet window or forever. Generous bound
+  // for loaded CI machines.
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(TcpBackendTest, StalledFloodEndsAtQuietWindowBeforeFullTimeout) {
+  // Same stalled gossip, but with the quiet window far below the timeout:
+  // once the source's local delivery lands (first observation), the quiet
+  // cutoff engages and returns long before the 30 s deadline — partial
+  // floods must not cost the whole timeout per probe.
+  TcpBackendConfig config =
+      TcpBackendConfig::defaults_for(ProtocolKind::kCyclon, 4, 11);
+  config.broadcast_timeout = seconds(30);
+  config.broadcast_quiet_window = milliseconds(120);
+  TcpBackend backend(config);
+  backend.build();
+  backend.settle();
+  backend.set_fanout(0);
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::MessageResult result = backend.broadcast_from(0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_LT(result.delivered, backend.alive_count());
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+// Property suite for the pluggable event scheduler (ISSUE 6 tentpole).
+//
+// The contract under test: the CalendarQueue pops the exact same (at, seq)
+// sequence as the MinHeap for any workload the simulator can generate —
+// monotonic-in-time pushes, same-timestamp FIFO ties, far-horizon timers,
+// latency-band spikes that re-bucket the wheel mid-run, and bounded-drain
+// watermark scans. Bit-identical pop order is what makes
+// HPV_EVENT_QUEUE=heap|calendar an apples-to-apples A/B at a fixed seed.
+#include "hyparview/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hyparview/common/rng.hpp"
+#include "hyparview/sim/calendar_queue.hpp"
+#include "hyparview/sim/min_heap.hpp"
+#include "hyparview/sim/simulator.hpp"
+
+namespace hyparview::sim {
+namespace {
+
+struct Ev {
+  TimePoint at = 0;
+  std::uint64_t seq = 0;
+};
+
+using HeapQueue = MinHeap<Ev, EventQueue<Ev>::AtSeqLess>;
+
+/// Drives a calendar queue and a heap through one interleaved random
+/// workload, asserting the popped (at, seq) streams never diverge.
+///
+/// Pushes honor the simulator's scheduling invariant (never before `now`,
+/// the timestamp of the last dispatched event); everything else — burst
+/// sizes, far-timer fraction, spike cadence — is randomized per trial.
+void run_mixed_trial(Rng& rng, Duration initial_band, int steps) {
+  CalendarQueue<Ev> calendar(initial_band);
+  HeapQueue heap;
+
+  TimePoint now = 0;
+  std::uint64_t seq = 0;
+  Duration band = initial_band;
+
+  const auto push_both = [&](TimePoint at) {
+    calendar.push({at, seq});
+    heap.push({at, seq});
+    ++seq;
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    const std::uint64_t op = rng.below(100);
+    if (op < 55) {
+      // Push burst: mostly near-horizon arrivals inside the live band, a
+      // tail of long timers far beyond the wheel year (failure detection,
+      // harness alarms), and occasional at == now immediates + exact ties.
+      const int burst = 1 + static_cast<int>(rng.below(8));
+      for (int i = 0; i < burst; ++i) {
+        const std::uint64_t shape = rng.below(10);
+        TimePoint at = now;
+        if (shape < 6) {
+          at = now + static_cast<Duration>(
+                         rng.below(static_cast<std::uint64_t>(band) + 1));
+        } else if (shape < 8) {
+          at = now;  // immediate: same-timestamp FIFO tie break
+        } else {
+          at = now + band * static_cast<Duration>(2 + rng.below(4000));
+        }
+        push_both(at);
+      }
+    } else if (op < 85) {
+      // Pop burst: both structures must yield the identical stream.
+      std::size_t burst = 1 + rng.below(8);
+      while (burst-- > 0 && !heap.empty()) {
+        const Ev a = calendar.pop();
+        const Ev b = heap.pop();
+        ASSERT_EQ(a.at, b.at) << "divergence at seq " << b.seq;
+        ASSERT_EQ(a.seq, b.seq) << "tie-break divergence at t=" << b.at;
+        ASSERT_GE(a.at, now) << "pop went backwards in time";
+        now = a.at;
+      }
+      ASSERT_EQ(calendar.size(), heap.size());
+    } else if (op < 93) {
+      // Latency spike (set_latency fault injection): the calendar re-derives
+      // its bucket width and re-buckets in place; order must survive.
+      band = 1 + static_cast<Duration>(rng.below(200'000));
+      calendar.set_band(0, band);
+    } else {
+      // Bounded-drain watermark accounting: for_each must see exactly the
+      // pending set (same count of events at-or-above any watermark).
+      const std::uint64_t watermark = rng.below(seq + 1);
+      std::uint64_t cal_count = 0;
+      calendar.for_each([&](const Ev& ev) {
+        if (ev.seq >= watermark) ++cal_count;
+      });
+      std::uint64_t heap_count = 0;
+      for (const Ev& ev : heap.items()) {
+        if (ev.seq >= watermark) ++heap_count;
+      }
+      ASSERT_EQ(cal_count, heap_count);
+    }
+  }
+
+  // Full drain: every remaining event, in lockstep.
+  while (!heap.empty()) {
+    const Ev a = calendar.pop();
+    const Ev b = heap.pop();
+    ASSERT_EQ(a.at, b.at);
+    ASSERT_EQ(a.seq, b.seq);
+    ASSERT_GE(a.at, now);
+    now = a.at;
+  }
+  ASSERT_TRUE(calendar.empty());
+}
+
+TEST(EventQueueProperty, CalendarMatchesHeapUnderMixedWorkload) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Duration band = 1 + static_cast<Duration>(rng.below(50'000));
+    run_mixed_trial(rng, band, 400);
+  }
+}
+
+TEST(EventQueueProperty, CalendarMatchesHeapWithDegenerateBands) {
+  Rng rng(7);
+  // band_max == 0 (zero-width latency) collapses the wheel to 1-tick
+  // buckets; the structure must still order correctly.
+  run_mixed_trial(rng, 0, 300);
+  run_mixed_trial(rng, 1, 300);
+}
+
+TEST(EventQueueProperty, FarTimersAcrossEmptyYears) {
+  // Sparse far-only workload: every event lands beyond the wheel horizon,
+  // so every pop exercises the jump-to-earliest-far path instead of
+  // stepping bucket by bucket through empty years.
+  CalendarQueue<Ev> calendar(100);
+  HeapQueue heap;
+  Rng rng(99);
+  TimePoint at = 0;
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    at += 1'000'000 + static_cast<Duration>(rng.below(1'000'000'000));
+    calendar.push({at, seq});
+    heap.push({at, seq});
+  }
+  while (!heap.empty()) {
+    const Ev a = calendar.pop();
+    const Ev b = heap.pop();
+    ASSERT_EQ(a.at, b.at);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(EventQueueProperty, WrapMigrationInstallsFarEventsInTime) {
+  // Adversarial schedule for the wrap sweep: an event just past the wheel
+  // horizon at push time (so it starts in the far list), then enough
+  // near-horizon traffic to walk the cursor right up to — and past — the
+  // far event's window. The wrap sweep must install it before its window
+  // is reached, or it pops late (out of order vs the heap).
+  for (const Duration band : {Duration{1}, Duration{37}, Duration{4096}}) {
+    CalendarQueue<Ev> calendar(band);
+    HeapQueue heap;
+    std::uint64_t seq = 0;
+    const Duration width = calendar.bucket_width();
+    const TimePoint just_past_horizon =
+        width * static_cast<Duration>(calendar.bucket_count() + 2);
+    calendar.push({just_past_horizon, seq});
+    heap.push({just_past_horizon, seq});
+    ++seq;
+    // Dense near traffic: one event per bucket width, well past the far
+    // event's timestamp, so the cursor crosses the wrap boundary while the
+    // far event is due in between.
+    for (TimePoint t = 0;
+         t < just_past_horizon + width * 64; t += std::max<Duration>(1, width)) {
+      calendar.push({t, seq});
+      heap.push({t, seq});
+      ++seq;
+    }
+    while (!heap.empty()) {
+      const Ev a = calendar.pop();
+      const Ev b = heap.pop();
+      ASSERT_EQ(a.at, b.at) << "band=" << band;
+      ASSERT_EQ(a.seq, b.seq) << "band=" << band;
+    }
+  }
+}
+
+TEST(EventQueueProperty, WrapperDispatchesToConfiguredStructure) {
+  EventQueue<Ev> heap_q(EventQueueKind::kHeap, 1000);
+  EventQueue<Ev> cal_q(EventQueueKind::kCalendar, 1000);
+  EXPECT_STREQ(heap_q.name(), "heap");
+  EXPECT_STREQ(cal_q.name(), "calendar");
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const TimePoint at = (seq * 7919) % 5000;
+    // Out-of-order pushes are fine before any pop (now == 0).
+    heap_q.push({at, seq});
+    cal_q.push({at, seq});
+  }
+  ASSERT_EQ(heap_q.size(), cal_q.size());
+  while (!heap_q.empty()) {
+    const Ev a = cal_q.pop();
+    const Ev b = heap_q.pop();
+    ASSERT_EQ(a.at, b.at);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+}
+
+TEST(EventQueueProperty, EnvSelectionResolvesAndRejectsUnknown) {
+  const char* saved = std::getenv("HPV_EVENT_QUEUE");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::unsetenv("HPV_EVENT_QUEUE");
+  EXPECT_EQ(resolve_event_queue_kind(EventQueueKind::kAuto),
+            EventQueueKind::kCalendar);
+  ::setenv("HPV_EVENT_QUEUE", "heap", 1);
+  EXPECT_EQ(resolve_event_queue_kind(EventQueueKind::kAuto),
+            EventQueueKind::kHeap);
+  // Explicit config wins over the env knob.
+  EXPECT_EQ(resolve_event_queue_kind(EventQueueKind::kCalendar),
+            EventQueueKind::kCalendar);
+  ::setenv("HPV_EVENT_QUEUE", "calendar", 1);
+  EXPECT_EQ(resolve_event_queue_kind(EventQueueKind::kAuto),
+            EventQueueKind::kCalendar);
+  // An unknown value must fail the run, not silently measure the wrong
+  // structure.
+  ::setenv("HPV_EVENT_QUEUE", "splay", 1);
+  EXPECT_THROW(resolve_event_queue_kind(EventQueueKind::kAuto), CheckError);
+
+  if (saved != nullptr) {
+    ::setenv("HPV_EVENT_QUEUE", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("HPV_EVENT_QUEUE");
+  }
+}
+
+/// Endpoint that relays every delivery to a pseudo-random peer a bounded
+/// number of times — enough traffic shape (fan-in ties, cascades) to catch
+/// an ordering divergence at the simulator level.
+class RelayEndpoint final : public membership::Endpoint {
+ public:
+  RelayEndpoint(Simulator* sim, std::uint32_t self, std::uint32_t n,
+                std::uint64_t seed)
+      : sim_(sim), self_(self), n_(n), rng_(seed) {}
+
+  void deliver(const NodeId& from, const wire::Message& msg) override {
+    (void)from;
+    (void)msg;
+    ++deliveries;
+    if (hops_left_ > 0) {
+      --hops_left_;
+      const auto peer = static_cast<std::uint32_t>(rng_.below(n_));
+      if (peer != self_) {
+        sim_->env(NodeId::from_index(self_))
+            .send(NodeId::from_index(peer), wire::Join{});
+      }
+    }
+  }
+  void send_failed(const NodeId&, const wire::Message&) override {
+    ++failures;
+  }
+  void link_closed(const NodeId&) override { ++closes; }
+
+  void arm(int hops) { hops_left_ += hops; }
+
+  std::uint64_t deliveries = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t closes = 0;
+
+ private:
+  Simulator* sim_;
+  std::uint32_t self_;
+  std::uint32_t n_;
+  Rng rng_;
+  int hops_left_ = 0;
+};
+
+struct SimTrace {
+  std::uint64_t events = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes = 0;
+  TimePoint final_now = 0;
+  std::vector<std::uint64_t> per_node_deliveries;
+
+  bool operator==(const SimTrace&) const = default;
+};
+
+/// Runs one scripted relay workload — watermark drains, a latency spike, a
+/// crash — and returns every observable counter.
+SimTrace run_scripted_sim(EventQueueKind kind) {
+  constexpr std::uint32_t kNodes = 24;
+  SimConfig config;
+  config.event_queue = kind;
+  config.seed = 4242;
+  Simulator sim(config);
+
+  std::vector<std::unique_ptr<RelayEndpoint>> endpoints;
+  endpoints.reserve(kNodes);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    endpoints.push_back(
+        std::make_unique<RelayEndpoint>(&sim, i, kNodes, 1000 + i));
+    sim.add_node(endpoints.back().get());
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    const std::uint64_t watermark = sim.next_event_seq();
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      endpoints[i]->arm(4);
+      const auto peer = static_cast<std::uint32_t>((i * 7 + round) % kNodes);
+      if (peer == i) continue;
+      sim.env(NodeId::from_index(i))
+          .send(NodeId::from_index(peer), wire::Join{});
+    }
+    if (round == 2) sim.set_latency(milliseconds(5), milliseconds(40));
+    if (round == 4) sim.crash(NodeId::from_index(3));
+    // Alternate full drains with bounded watermark drains so both paths
+    // run on both structures.
+    if (round % 2 == 0) {
+      sim.run_until_quiescent();
+    } else {
+      sim.run_until_quiescent_from(watermark);
+    }
+  }
+  sim.run_until_quiescent();
+
+  SimTrace trace;
+  trace.events = sim.events_processed();
+  trace.sent = sim.messages_sent();
+  trace.delivered = sim.messages_delivered();
+  trace.bytes = sim.bytes_sent();
+  trace.final_now = sim.now();
+  for (const auto& ep : endpoints) {
+    trace.per_node_deliveries.push_back(ep->deliveries);
+  }
+  return trace;
+}
+
+TEST(EventQueueProperty, SimulatorRunsBitIdenticalAcrossQueues) {
+  const SimTrace heap_trace = run_scripted_sim(EventQueueKind::kHeap);
+  const SimTrace calendar_trace = run_scripted_sim(EventQueueKind::kCalendar);
+  EXPECT_EQ(heap_trace, calendar_trace);
+  EXPECT_GT(heap_trace.events, 0u);
+  EXPECT_GT(heap_trace.delivered, 0u);
+}
+
+}  // namespace
+}  // namespace hyparview::sim

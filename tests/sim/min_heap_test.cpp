@@ -155,6 +155,60 @@ TEST(MinHeapTest, RandomizedTieBreakMatchesStableOrder) {
   EXPECT_TRUE(heap.empty());
 }
 
+/// Move-sensitive payload: self-move-assignment is observable (and counted),
+/// the way real-world types — the EventLoop's TimerTask closures, any type
+/// that releases resources before adopting the source's — are allowed to
+/// clobber themselves on `x = std::move(x)`.
+struct MoveSensitive {
+  inline static int self_move_assigns = 0;
+
+  explicit MoveSensitive(int v) : value(v) {}
+  MoveSensitive(MoveSensitive&& other) noexcept : value(other.value) {
+    other.value = -1;  // moved-from marker
+  }
+  MoveSensitive& operator=(MoveSensitive&& other) noexcept {
+    if (this == &other) {
+      ++self_move_assigns;  // a correct container never does this
+      return *this;
+    }
+    value = other.value;
+    other.value = -1;
+    return *this;
+  }
+  MoveSensitive(const MoveSensitive&) = delete;
+  MoveSensitive& operator=(const MoveSensitive&) = delete;
+
+  int value;
+};
+
+struct MoveSensitiveLess {
+  bool operator()(const MoveSensitive& a, const MoveSensitive& b) const {
+    return a.value < b.value;
+  }
+};
+
+TEST(MinHeapTest, PopNeverSelfMoveAssigns) {
+  // Regression: pop() used to fill the root hole with `front() =
+  // std::move(back())` even when size() == 1, where front and back alias —
+  // a self-move-assignment the element type may clobber on.
+  MoveSensitive::self_move_assigns = 0;
+  MinHeap<MoveSensitive, MoveSensitiveLess> heap;
+
+  // The single-element case is the one that aliased.
+  heap.push(MoveSensitive(42));
+  EXPECT_EQ(heap.pop().value, 42);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(MoveSensitive::self_move_assigns, 0);
+
+  // Draining any heap ends in the single-element case; interleave to cover
+  // the repeated-last-pop path too.
+  for (const int v : {9, 3, 7, 1, 5}) heap.push(MoveSensitive(v));
+  std::vector<int> out;
+  while (!heap.empty()) out.push_back(heap.pop().value);
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(MoveSensitive::self_move_assigns, 0);
+}
+
 TEST(MinHeapTest, ReservePreservesContentsAndOrder) {
   MinHeap<int, IntLess> heap;
   heap.push(3);

@@ -577,5 +577,54 @@ TEST_F(SimulatorTest, FixedLatencyExactDeliveryTime) {
   EXPECT_EQ(sim.now(), milliseconds(3));
 }
 
+TEST_F(SimulatorTest, InvertedLatencyBandRejectedAtConstruction) {
+  config_.latency_min = milliseconds(5);
+  config_.latency_max = milliseconds(2);
+  EXPECT_THROW(Simulator{config_}, CheckError);
+}
+
+TEST_F(SimulatorTest, NegativeLatencyMinRejectedAtConstruction) {
+  config_.latency_min = -milliseconds(1);
+  config_.latency_max = milliseconds(2);
+  EXPECT_THROW(Simulator{config_}, CheckError);
+}
+
+TEST_F(SimulatorTest, SetLatencyRejectsInvertedBandAndKeepsOldBand) {
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  EXPECT_THROW(sim.set_latency(milliseconds(9), milliseconds(1)), CheckError);
+  EXPECT_THROW(sim.set_latency(-milliseconds(1), milliseconds(1)), CheckError);
+  // The failed calls must not have disturbed the configured band.
+  sim.env(a).send(b, wire::Join{});
+  sim.run_until_quiescent();
+  EXPECT_GE(sim.now(), config_.latency_min);
+  EXPECT_LE(sim.now(), config_.latency_max);
+}
+
+TEST_F(SimulatorTest, SetLatencyZeroWidthBandIsValid) {
+  // min == max is a legitimate degenerate band (deterministic-latency
+  // experiments); draw_latency must not divide/modulo by the zero width.
+  Simulator sim(config_);
+  RecordingHandler h;
+  const NodeId a = sim.add_node(&h);
+  const NodeId b = sim.add_node(&h);
+  sim.set_latency(milliseconds(7), milliseconds(7));
+  sim.env(a).send(b, wire::Join{});
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.now(), milliseconds(7));
+  ASSERT_EQ(h.deliveries.size(), 1u);
+}
+
+TEST_F(SimulatorTest, EventQueueKindSelectableFromConfig) {
+  config_.event_queue = EventQueueKind::kHeap;
+  Simulator heap_sim(config_);
+  EXPECT_STREQ(heap_sim.event_queue_name(), "heap");
+  config_.event_queue = EventQueueKind::kCalendar;
+  Simulator cal_sim(config_);
+  EXPECT_STREQ(cal_sim.event_queue_name(), "calendar");
+}
+
 }  // namespace
 }  // namespace hyparview::sim
