@@ -51,7 +51,12 @@ RENAMED_BENCHES = {}
 # Informational per-record fields: reported, never gated. phase_seconds_*
 # are too machine-noisy to fail on; speedup_* (the scheduler A/B driver's
 # calendar-vs-heap and drain-batching ratios) are ratios of two noisy walls.
-INFO_FIELD_PREFIXES = ("phase_seconds_", "speedup_")
+# The adversarial driver's overlay-health fields (eclipse_*,
+# honest_component_*, reliability_*) are deterministic measurements, not
+# throughputs — drift there is a behavior change to investigate, not a perf
+# regression to gate on.
+INFO_FIELD_PREFIXES = ("phase_seconds_", "speedup_", "eclipse_",
+                       "honest_component_", "reliability_")
 PHASE_FIELD_PREFIX = "phase_seconds_"
 
 # Per-structure throughput fields (e.g. the calendar_queue driver's

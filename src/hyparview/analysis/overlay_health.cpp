@@ -1,0 +1,13 @@
+#include "hyparview/analysis/overlay_health.hpp"
+
+#include "hyparview/graph/metrics.hpp"
+
+namespace hyparview::analysis {
+
+std::size_t largest_honest_component(const graph::Digraph& g,
+                                     const std::vector<bool>& honest) {
+  const graph::Digraph sub = g.induced_subgraph(honest);
+  return graph::largest_weakly_connected_component(sub);
+}
+
+}  // namespace hyparview::analysis

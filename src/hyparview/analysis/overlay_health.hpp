@@ -1,0 +1,71 @@
+// Overlay survival metrics under adversarial pressure.
+//
+// The adversarial tier (harness::Adversary) lets a minority of nodes answer
+// membership traffic with fabricated or colluding identities. These metrics
+// quantify how far the honest overlay degrades:
+//
+//  * eclipse ratio — fraction of honest nodes' dissemination-view slots held
+//    by adversarial identities (colluders or fabrications). 1.0 means the
+//    honest overlay is fully eclipsed: every gossip hop lands on the
+//    adversary.
+//  * largest honest component — size of the largest weakly connected
+//    component of the honest-only view graph. Divided by the honest alive
+//    population it is the partition damage an attack achieved.
+//  * backup poison ratio — same slot accounting over the backup views
+//    (HyParView passive view, Scamp InView); poisoned backups turn future
+//    repair into further eclipse pressure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hyparview/graph/digraph.hpp"
+
+namespace hyparview::analysis {
+
+/// Slot census over one view class (dissemination or backup) of every
+/// honest alive node.
+struct ViewPoisonCounts {
+  std::uint64_t slots = 0;        ///< total entries inspected
+  std::uint64_t adversarial = 0;  ///< entries naming a colluding node
+  std::uint64_t fabricated = 0;   ///< entries naming no real process
+
+  [[nodiscard]] std::uint64_t poisoned() const {
+    return adversarial + fabricated;
+  }
+  /// poisoned/slots, 0 when no slots were inspected.
+  [[nodiscard]] double poison_ratio() const {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(poisoned()) /
+                            static_cast<double>(slots);
+  }
+};
+
+struct OverlayHealth {
+  std::size_t honest_alive = 0;  ///< honest alive population
+  ViewPoisonCounts active;       ///< dissemination views
+  ViewPoisonCounts backup;       ///< backup views
+  std::size_t largest_honest_component = 0;
+
+  /// Fraction of honest dissemination-view slots the adversary holds.
+  [[nodiscard]] double eclipse_ratio() const { return active.poison_ratio(); }
+  [[nodiscard]] double backup_poison_ratio() const {
+    return backup.poison_ratio();
+  }
+  /// largest_honest_component / honest_alive (1.0 for an intact overlay).
+  [[nodiscard]] double honest_component_fraction() const {
+    return honest_alive == 0
+               ? 0.0
+               : static_cast<double>(largest_honest_component) /
+                     static_cast<double>(honest_alive);
+  }
+};
+
+/// Size of the largest weakly connected component of the subgraph induced
+/// by the vertices with honest[v] — the honest overlay with every
+/// adversarial vertex (and all arcs through it) removed.
+[[nodiscard]] std::size_t largest_honest_component(
+    const graph::Digraph& g, const std::vector<bool>& honest);
+
+}  // namespace hyparview::analysis

@@ -228,11 +228,17 @@ void HyParView::handle_shuffle(const NodeId& sender, const wire::Shuffle& m) {
   }
   // Accept: answer with as many passive entries as we received, directly to
   // the origin over a temporary connection. The reply reuses the sample
-  // scratch and echoes the received list with a POD copy.
+  // scratch and echoes the received list with a POD copy. The reply size is
+  // clamped to the honest payload bound (1 + ka + kp): an oversized hostile
+  // SHUFFLE must not extract a bigger passive sample than the protocol ever
+  // volunteers (honest frames carry exactly 1 + ka + kp entries, so the
+  // clamp never binds on them).
   ++stats_.shuffles_accepted;
-  env_.rng().sample_into(std::span<const NodeId>(passive_),
-                         std::min(m.entries.size(), passive_.size()),
-                         sample_scratch_);
+  env_.rng().sample_into(
+      std::span<const NodeId>(passive_),
+      std::min({m.entries.size(), passive_.size(),
+                1 + config_.shuffle_ka + config_.shuffle_kp}),
+      sample_scratch_);
   wire::ShuffleReply reply;
   reply.sent = m.entries;
   reply.entries.assign(sample_scratch_);
@@ -257,9 +263,39 @@ void HyParView::integrate_shuffle_entries(std::span<const NodeId> received,
   for (const NodeId& n : sent_to_peer) {
     if (in_passive(n)) evict_scratch_.push_back(n);
   }
-  for (const NodeId& n : received) {
-    if (n == self() || in_active(n) || in_passive(n)) continue;
+  // Per-frame mutation budget: one received list may add (and hence evict)
+  // at most shuffle_ka + shuffle_kp passive entries — the fresh-entry bound
+  // of an honest exchange. Self-IDs and duplicates within the list are
+  // dropped and counted: the bounded decoder accepts such frames (they are
+  // wire-legal), so the protocol layer must refuse them. The duplicate scan
+  // is O(n²) over a list of at most kMaxShuffleEntries — alloc-free and
+  // cheaper than any set at that size.
+  const std::size_t budget = config_.shuffle_ka + config_.shuffle_kp;
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    const NodeId& n = received[i];
+    if (n == self()) {
+      ++stats_.shuffle_self_dropped;
+      continue;
+    }
+    bool duplicate = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (received[j] == n) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      ++stats_.shuffle_duplicates_dropped;
+      continue;
+    }
+    if (in_active(n) || in_passive(n)) continue;
+    if (added >= budget) {
+      ++stats_.shuffle_over_budget_dropped;
+      continue;
+    }
     add_to_passive(n, &evict_scratch_);
+    ++added;
   }
 }
 

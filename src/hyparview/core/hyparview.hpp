@@ -70,6 +70,13 @@ struct Stats {
   std::uint64_t asymmetry_heals = 0;
   std::uint64_t warm_dials = 0;       ///< cache-refresh connection attempts
   std::uint64_t warm_promotions = 0;  ///< promotions that skipped the dial
+  // Hostile-frame accounting: entries of a received shuffle list that were
+  // dropped instead of integrated. Decoder-legal frames can still be
+  // protocol-hostile (self-IDs, duplicated IDs, over-budget lists); the
+  // adversarial tier pins that these bounds hold.
+  std::uint64_t shuffle_self_dropped = 0;        ///< own id in a received list
+  std::uint64_t shuffle_duplicates_dropped = 0;  ///< repeats within one list
+  std::uint64_t shuffle_over_budget_dropped = 0;  ///< past ka+kp additions
 };
 
 class HyParView final : public membership::Protocol {

@@ -1,10 +1,38 @@
 #include "hyparview/harness/backend.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 
 #include "hyparview/common/assert.hpp"
+#include "hyparview/harness/adversary.hpp"
 
 namespace hyparview::harness {
+
+namespace {
+
+/// Session length in cycles, drawn from the configured heavy-tailed
+/// distribution (inverse-CDF for Pareto, Box–Muller for lognormal) off the
+/// shared harness stream. Clamped to at least one full cycle.
+double draw_session(Rng& rng, const HeavyChurnConfig& cfg) {
+  switch (cfg.dist) {
+    case HeavyChurnConfig::Dist::kPareto: {
+      // unit() ∈ [0,1); 1-u ∈ (0,1] keeps the pow argument positive.
+      const double u = rng.unit();
+      return cfg.pareto_xm * std::pow(1.0 - u, -1.0 / cfg.pareto_alpha);
+    }
+    case HeavyChurnConfig::Dist::kLognormal: {
+      const double u1 = std::max(rng.unit(), 1e-12);
+      const double u2 = rng.unit();
+      const double z = std::sqrt(-2.0 * std::log(u1)) *
+                       std::cos(2.0 * std::numbers::pi * u2);
+      return std::exp(cfg.lognormal_mu + cfg.lognormal_sigma * z);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
 
 const char* kind_name(ProtocolKind kind) {
   switch (kind) {
@@ -147,6 +175,78 @@ ChurnStats Backend::run_churn(const ChurnConfig& cfg) {
         total / static_cast<double>(stats.per_cycle_reliability.size());
   }
   return stats;
+}
+
+HeavyChurnStats Backend::run_heavy_churn(const HeavyChurnConfig& cfg) {
+  HPV_CHECK(built());
+  HeavyChurnStats stats;
+  struct Session {
+    std::size_t index;
+    std::size_t expires_at;  ///< cycle number the session ends on
+  };
+  std::vector<Session> sessions;
+  double session_sum = 0.0;
+  for (std::size_t cycle = 0; cycle < cfg.cycles; ++cycle) {
+    for (std::size_t j = 0; j < cfg.joins_per_cycle; ++j) {
+      const std::size_t index = add_node();
+      const double drawn = std::max(1.0, draw_session(rng(), cfg));
+      session_sum += drawn;
+      stats.max_session_cycles = std::max(stats.max_session_cycles, drawn);
+      sessions.push_back(
+          Session{index, cycle + static_cast<std::size_t>(drawn)});
+      ++stats.joins;
+    }
+    // Expire due sessions in join order (one deterministic order for both
+    // backends). The graceful/crash draw happens per expiry, like
+    // leave_random's per-victim draw.
+    std::size_t kept = 0;
+    for (const Session& s : sessions) {
+      if (s.expires_at > cycle) {
+        sessions[kept++] = s;
+        continue;
+      }
+      if (alive_count() <= 2 || !alive(s.index)) continue;
+      const bool graceful = rng().chance(cfg.graceful_fraction);
+      leave_node(s.index, graceful);
+      ++(graceful ? stats.graceful_leaves : stats.crashes);
+    }
+    sessions.resize(kept);
+    run_cycles(1);
+    if (cfg.probes_per_cycle > 0) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < cfg.probes_per_cycle; ++p) {
+        sum += broadcast_one().reliability();
+      }
+      const double reliability =
+          sum / static_cast<double>(cfg.probes_per_cycle);
+      stats.per_cycle_reliability.push_back(reliability);
+      stats.min_reliability = std::min(stats.min_reliability, reliability);
+    }
+  }
+  if (stats.joins > 0) {
+    stats.mean_session_cycles =
+        session_sum / static_cast<double>(stats.joins);
+  }
+  if (!stats.per_cycle_reliability.empty()) {
+    double total = 0.0;
+    for (const double r : stats.per_cycle_reliability) total += r;
+    stats.avg_reliability =
+        total / static_cast<double>(stats.per_cycle_reliability.size());
+  }
+  return stats;
+}
+
+std::size_t Backend::sybil_burst(std::size_t per_adversary) {
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (!alive(i)) continue;
+    auto* wrapped = dynamic_cast<AdversarialProtocol*>(&protocol(i));
+    if (wrapped == nullptr) continue;
+    wrapped->sybil_burst(per_adversary);
+    ++fired;
+  }
+  settle();
+  return fired;
 }
 
 }  // namespace hyparview::harness

@@ -30,6 +30,8 @@
 
 namespace hyparview::harness {
 
+class Adversary;  // adversary.hpp
+
 enum class ProtocolKind : std::uint8_t {
   kHyParView,
   kCyclon,
@@ -82,6 +84,40 @@ struct ChurnStats {
 struct LeaveWaveStats {
   std::size_t graceful = 0;
   std::size_t crashes = 0;
+};
+
+/// Trace-driven churn: joiners receive heavy-tailed session lengths (in
+/// membership cycles) instead of the uniform kill fractions of ChurnConfig.
+/// Measured session-time distributions (Gnutella/Kad traces) are Pareto or
+/// lognormal shaped: most sessions are short, a heavy tail stays for the
+/// whole run — a qualitatively different stress than uniform churn, because
+/// view entries split into a stable core and a fast-churning fringe.
+struct HeavyChurnConfig {
+  enum class Dist : std::uint8_t { kPareto, kLognormal };
+
+  std::size_t cycles = 30;
+  std::size_t joins_per_cycle = 4;
+  Dist dist = Dist::kPareto;
+  /// Pareto(alpha, xm): alpha ≤ 2 gives the infinite-variance heavy tail.
+  double pareto_alpha = 1.5;
+  double pareto_xm = 2.0;  ///< minimum session length, cycles
+  /// Lognormal(mu, sigma) of the underlying normal.
+  double lognormal_mu = 1.5;
+  double lognormal_sigma = 1.0;
+  /// Probability a session ends gracefully (Protocol::leave) vs crashing.
+  double graceful_fraction = 0.5;
+  std::size_t probes_per_cycle = 2;
+};
+
+struct HeavyChurnStats {
+  std::vector<double> per_cycle_reliability;
+  double avg_reliability = 0.0;
+  double min_reliability = 1.0;
+  std::size_t joins = 0;
+  std::size_t graceful_leaves = 0;
+  std::size_t crashes = 0;
+  double mean_session_cycles = 0.0;
+  double max_session_cycles = 0.0;
 };
 
 class Backend {
@@ -156,6 +192,20 @@ class Backend {
   /// sequence.
   virtual ChurnStats run_churn(const ChurnConfig& cfg);
 
+  /// Runs the trace-driven churn workload (see HeavyChurnConfig): every
+  /// cycle `joins_per_cycle` nodes join, each with a heavy-tailed session
+  /// length drawn from the harness RNG stream; sessions that expire this
+  /// cycle end (gracefully or by crashing); probes measure reliability.
+  /// Shared implementation — both backends execute the identical draw
+  /// sequence.
+  virtual HeavyChurnStats run_heavy_churn(const HeavyChurnConfig& cfg);
+
+  /// Fires one sybil burst: every alive adversarial node injects
+  /// `per_adversary` fabricated joins (AttackKind::kSybil; a no-op on
+  /// honest clusters and other attacks), then the traffic settles.
+  /// Returns the number of adversaries that fired.
+  std::size_t sybil_burst(std::size_t per_adversary);
+
   /// `count` departures of random alive victims, each graceful with
   /// probability `graceful_fraction` (stops early when only two nodes
   /// remain). The single definition of the departure draw sequence — churn
@@ -194,6 +244,10 @@ class Backend {
   [[nodiscard]] virtual const membership::Protocol& protocol(
       std::size_t i) const = 0;
   [[nodiscard]] virtual analysis::BroadcastRecorder& recorder() = 0;
+
+  /// The adversarial roster driving this backend's fault injection
+  /// (adversary.hpp), or nullptr for an honest cluster.
+  [[nodiscard]] virtual const Adversary* adversary() const { return nullptr; }
 
   /// Harness-level random stream (failure selection, source selection...).
   [[nodiscard]] virtual Rng& rng() = 0;

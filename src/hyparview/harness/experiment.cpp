@@ -105,6 +105,26 @@ Experiment& Experiment::churn(const ChurnConfig& cfg, std::string label) {
   return *this;
 }
 
+Experiment& Experiment::sybil_burst(std::size_t per_adversary,
+                                    std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kSybilBurst;
+  p.label = std::move(label);
+  p.count = per_adversary;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Experiment& Experiment::heavy_churn(const HeavyChurnConfig& cfg,
+                                    std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kHeavyChurn;
+  p.label = std::move(label);
+  p.heavy = cfg;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
 Experiment& Experiment::settle(std::string label) {
   Phase p;
   p.kind = PhaseKind::kSettle;
@@ -121,6 +141,9 @@ std::size_t Experiment::planned_broadcasts() const {
       case PhaseKind::kHealUntil: total += p.cycles * p.count; break;
       case PhaseKind::kChurn:
         total += p.churn.cycles * p.churn.probes_per_cycle;
+        break;
+      case PhaseKind::kHeavyChurn:
+        total += p.heavy.cycles * p.heavy.probes_per_cycle;
         break;
       default: break;
     }
@@ -234,6 +257,13 @@ ExperimentResult run_experiment(Backend& backend, const Experiment& spec) {
         break;
       case Experiment::PhaseKind::kSettle:
         backend.settle();
+        break;
+      case Experiment::PhaseKind::kSybilBurst:
+        pr.adversaries_fired = backend.sybil_burst(phase.count);
+        break;
+      case Experiment::PhaseKind::kHeavyChurn:
+        pr.heavy = backend.run_heavy_churn(phase.heavy);
+        pr.reliabilities = pr.heavy.per_cycle_reliability;
         break;
     }
 

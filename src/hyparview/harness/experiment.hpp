@@ -44,8 +44,10 @@ class Experiment {
     kLeave,      ///< departures (graceful_fraction decides leave vs crash)
     kBroadcast,  ///< measured broadcasts from random alive sources
     kHealUntil,  ///< cycle+probe until a baseline phase's reliability
-    kChurn,      ///< continuous-churn workload
-    kSettle,     ///< let in-flight traffic finish (Backend::settle)
+    kChurn,       ///< continuous-churn workload
+    kSettle,      ///< let in-flight traffic finish (Backend::settle)
+    kSybilBurst,  ///< adversaries inject fabricated joins, then settle
+    kHeavyChurn,  ///< trace-driven churn (heavy-tailed session lengths)
   };
 
   struct Phase {
@@ -56,9 +58,11 @@ class Experiment {
     std::size_t fanout = 0;        ///< kSetFanout
     double fraction = 0.0;         ///< kCrash; graceful fraction for kLeave
     std::size_t count = 0;         ///< kBroadcast; departures for kLeave;
-                                   ///< probes per cycle for kHealUntil
+                                   ///< probes per cycle for kHealUntil;
+                                   ///< joins per adversary for kSybilBurst
     std::string baseline_label;    ///< kHealUntil reference phase
     ChurnConfig churn{};           ///< kChurn
+    HeavyChurnConfig heavy{};      ///< kHeavyChurn
   };
 
   explicit Experiment(std::string name) : name_(std::move(name)) {}
@@ -87,6 +91,15 @@ class Experiment {
                          CycleOptions options = {},
                          std::string label = "heal");
   Experiment& churn(const ChurnConfig& cfg, std::string label = "churn");
+  /// Every alive adversarial node injects `per_adversary` fabricated joins
+  /// (Backend::sybil_burst); the burst traffic settles before the next
+  /// phase. A no-op on honest clusters, so adversarial specs stay portable.
+  Experiment& sybil_burst(std::size_t per_adversary,
+                          std::string label = "sybil");
+  /// Trace-driven churn with heavy-tailed session lengths
+  /// (Backend::run_heavy_churn).
+  Experiment& heavy_churn(const HeavyChurnConfig& cfg,
+                          std::string label = "heavy_churn");
   /// Drains in-flight traffic (e.g. crash notifications in the
   /// notify-on-crash ablation) before the next measured phase.
   Experiment& settle(std::string label = "settle");
@@ -122,6 +135,12 @@ struct PhaseResult {
 
   // kChurn:
   ChurnStats churn;
+
+  // kHeavyChurn:
+  HeavyChurnStats heavy;
+
+  // kSybilBurst:
+  std::size_t adversaries_fired = 0;
 
   [[nodiscard]] double avg_reliability() const;
   [[nodiscard]] double min_reliability() const;

@@ -62,6 +62,11 @@ SimBackend::SimBackend(NetworkConfig config)
     : config_(config), sim_(config.sim) {
   HPV_CHECK_THROW(config_.node_count >= 2,
                   "network needs at least two nodes");
+  if (config_.adversary.enabled()) {
+    adversary_ = std::make_unique<Adversary>(
+        config_.adversary, config_.seed, /*real_addresses=*/false);
+    adversary_->select(config_.node_count);
+  }
 }
 
 SimBackend::~SimBackend() = default;
@@ -84,6 +89,7 @@ std::size_t SimBackend::node_class(std::size_t i) const {
 
 std::unique_ptr<membership::Protocol> SimBackend::make_protocol(
     membership::Env& env, std::size_t index) {
+  std::unique_ptr<membership::Protocol> inner;
   switch (config_.kind) {
     case ProtocolKind::kHyParView: {
       core::Config cfg = config_.hyparview;
@@ -92,16 +98,20 @@ std::unique_ptr<membership::Protocol> SimBackend::make_protocol(
         cfg.active_capacity = cls.active_capacity;
         cfg.passive_capacity = cls.passive_capacity;
       }
-      return std::make_unique<core::HyParView>(env, cfg);
+      inner = std::make_unique<core::HyParView>(env, cfg);
+      break;
     }
     case ProtocolKind::kCyclon:
     case ProtocolKind::kCyclonAcked:
-      return std::make_unique<baselines::Cyclon>(env, config_.cyclon);
+      inner = std::make_unique<baselines::Cyclon>(env, config_.cyclon);
+      break;
     case ProtocolKind::kScamp:
-      return std::make_unique<baselines::Scamp>(env, config_.scamp);
+      inner = std::make_unique<baselines::Scamp>(env, config_.scamp);
+      break;
   }
-  HPV_CHECK(false);
-  return nullptr;
+  HPV_CHECK(inner != nullptr);
+  return maybe_wrap_adversarial(adversary_.get(), index, env, config_.kind,
+                                std::move(inner));
 }
 
 void SimBackend::build(const BuildOptions& options) {

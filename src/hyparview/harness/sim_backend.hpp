@@ -22,6 +22,7 @@
 #include "hyparview/core/hyparview.hpp"
 #include "hyparview/gossip/node_runtime.hpp"
 #include "hyparview/graph/digraph.hpp"
+#include "hyparview/harness/adversary.hpp"
 #include "hyparview/harness/backend.hpp"
 #include "hyparview/sim/simulator.hpp"
 
@@ -70,6 +71,10 @@ struct NetworkConfig {
   /// Heterogeneous capacity classes for HyParView (empty = homogeneous,
   /// i.e. `hyparview` everywhere). Assignment is random per node, seeded.
   std::vector<HyParViewClass> hyparview_classes;
+
+  /// Adversarial minority (adversary.hpp). Disabled by default — the
+  /// honest configuration is byte-for-byte the historical one.
+  AdversaryConfig adversary;
 
   /// Contact-node policy: HyParView/Cyclon bootstrap through a single
   /// contact (node 0); Scamp uses a random node already in the overlay
@@ -156,6 +161,9 @@ class SimBackend final : public Backend {
   [[nodiscard]] bool alive(std::size_t i) const override;
   [[nodiscard]] std::vector<bool> alive_mask() const;
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] const Adversary* adversary() const override {
+    return adversary_.get();
+  }
   [[nodiscard]] Rng& rng() override { return sim_.rng(); }
   [[nodiscard]] std::uint64_t events_processed() const override {
     return sim_.events_processed();
@@ -170,6 +178,7 @@ class SimBackend final : public Backend {
 
   NetworkConfig config_;
   sim::Simulator sim_;
+  std::unique_ptr<Adversary> adversary_;  ///< null for honest clusters
   analysis::BroadcastRecorder recorder_;
   std::vector<std::unique_ptr<gossip::NodeRuntime>> runtimes_;
   std::vector<std::size_t> class_of_;

@@ -27,6 +27,7 @@ TcpBackendConfig TcpBackendConfig::defaults_for(ProtocolKind kind,
   cfg.cyclon = base.cyclon;
   cfg.scamp = base.scamp;
   cfg.gossip = base.gossip;
+  cfg.adversary = base.adversary;
   return cfg;
 }
 
@@ -49,6 +50,11 @@ TcpBackend::TcpBackend(TcpBackendConfig config)
       observer_(*this) {
   HPV_CHECK_THROW(config_.node_count >= 2,
                   "cluster needs at least two nodes");
+  if (config_.adversary.enabled()) {
+    adversary_ = std::make_unique<Adversary>(
+        config_.adversary, config_.seed, /*real_addresses=*/true);
+    adversary_->select(config_.node_count);
+  }
 }
 
 TcpBackend::~TcpBackend() {
@@ -62,18 +68,23 @@ void TcpBackend::wait(Duration d) {
 }
 
 std::unique_ptr<membership::Protocol> TcpBackend::make_protocol(
-    membership::Env& env) {
+    membership::Env& env, std::size_t index) {
+  std::unique_ptr<membership::Protocol> inner;
   switch (config_.kind) {
     case ProtocolKind::kHyParView:
-      return std::make_unique<core::HyParView>(env, config_.hyparview);
+      inner = std::make_unique<core::HyParView>(env, config_.hyparview);
+      break;
     case ProtocolKind::kCyclon:
     case ProtocolKind::kCyclonAcked:
-      return std::make_unique<baselines::Cyclon>(env, config_.cyclon);
+      inner = std::make_unique<baselines::Cyclon>(env, config_.cyclon);
+      break;
     case ProtocolKind::kScamp:
-      return std::make_unique<baselines::Scamp>(env, config_.scamp);
+      inner = std::make_unique<baselines::Scamp>(env, config_.scamp);
+      break;
   }
-  HPV_CHECK(false);
-  return nullptr;
+  HPV_CHECK(inner != nullptr);
+  return maybe_wrap_adversarial(adversary_.get(), index, env, config_.kind,
+                                std::move(inner));
 }
 
 std::size_t TcpBackend::spawn_node() {
@@ -86,7 +97,8 @@ std::size_t TcpBackend::spawn_node() {
   gossip::GossipConfig gcfg = config_.gossip;
   gcfg.fanout = config_.fanout;
   node.runtime = std::make_unique<gossip::NodeRuntime>(
-      *node.transport, make_protocol(*node.transport), gcfg, &observer_);
+      *node.transport, make_protocol(*node.transport, index), gcfg,
+      &observer_);
   node.transport->set_endpoint(node.runtime.get());
   // insert_or_assign: the kernel may hand a dead node's ephemeral port to a
   // later listener, and over TCP the address IS the identity — a view entry

@@ -30,6 +30,7 @@
 #include "hyparview/common/time.hpp"
 #include "hyparview/core/hyparview.hpp"
 #include "hyparview/gossip/node_runtime.hpp"
+#include "hyparview/harness/adversary.hpp"
 #include "hyparview/harness/backend.hpp"
 #include "hyparview/net/event_loop.hpp"
 #include "hyparview/net/tcp_transport.hpp"
@@ -50,6 +51,10 @@ struct TcpBackendConfig {
   /// Per-node transport template; the bind port stays 0 (every node gets
   /// its own ephemeral loopback port), rng_seed is derived per node.
   net::TcpTransportConfig transport;
+
+  /// Adversarial minority (adversary.hpp); same spec as the sim backend,
+  /// fabricated identities become dead loopback addresses here.
+  AdversaryConfig adversary;
 
   /// Real-time settle windows replacing the simulator's quiescence drains.
   Duration join_settle = milliseconds(15);
@@ -131,6 +136,9 @@ class TcpBackend final : public Backend {
   [[nodiscard]] analysis::BroadcastRecorder& recorder() override {
     return recorder_;
   }
+  [[nodiscard]] const Adversary* adversary() const override {
+    return adversary_.get();
+  }
   [[nodiscard]] Rng& rng() override { return master_rng_; }
   /// Gossip deliveries + duplicates observed by the dissemination layer
   /// (membership control frames are not metered) — a rough real-transport
@@ -169,7 +177,7 @@ class TcpBackend final : public Backend {
   std::size_t spawn_node();
 
   [[nodiscard]] std::unique_ptr<membership::Protocol> make_protocol(
-      membership::Env& env);
+      membership::Env& env, std::size_t index);
 
   /// Index of the node whose listening id is `id`, or npos.
   [[nodiscard]] std::size_t index_of(const NodeId& id) const;
@@ -177,6 +185,7 @@ class TcpBackend final : public Backend {
   TcpBackendConfig config_;
   net::EventLoop loop_;
   Rng master_rng_;
+  std::unique_ptr<Adversary> adversary_;  ///< null for honest clusters
   CountingObserver observer_;
   analysis::BroadcastRecorder recorder_;
   std::vector<TcpNode> nodes_;

@@ -360,6 +360,8 @@ class TcpTransport::Connection final : public IoHandler {
       if (len > transport_->config_.max_frame_bytes) {
         HPV_LOG_WARN("tcp: oversized frame (%u bytes) from %s; closing", len,
                      peer_.to_string().c_str());
+        ++transport_->stats_.oversized_frames;
+        ++transport_->stats_.malformed_frames;
         close_now(/*notify=*/true, /*error=*/true);
         return false;
       }
@@ -373,6 +375,7 @@ class TcpTransport::Connection final : public IoHandler {
       } catch (const CheckError& err) {
         HPV_LOG_WARN("tcp: malformed frame from %s: %s",
                      peer_.to_string().c_str(), err.what());
+        ++transport_->stats_.malformed_frames;
         close_now(/*notify=*/true, /*error=*/true);
         return false;
       }
@@ -392,6 +395,7 @@ class TcpTransport::Connection final : public IoHandler {
     }
     if (!identified()) {
       HPV_LOG_WARN("tcp: frame before HELLO; closing");
+      ++transport_->stats_.frames_before_hello;
       close_now(/*notify=*/false, /*error=*/true);
       return;
     }

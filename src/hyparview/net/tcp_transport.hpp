@@ -42,6 +42,18 @@ struct TcpTransportConfig {
   std::uint64_t rng_seed = 1;
 };
 
+/// Hostile/garbage traffic counters. A malicious frame only ever costs its
+/// own connection (closed and counted here) — never the loop or other
+/// peers' connections (tcp_transport_test pins that).
+struct TransportStats {
+  /// Undecodable frame bodies (CheckError from the bounded decoder).
+  std::uint64_t malformed_frames = 0;
+  /// Length prefixes above max_frame_bytes (also counted as malformed).
+  std::uint64_t oversized_frames = 0;
+  /// Non-HELLO frames on a connection that never identified itself.
+  std::uint64_t frames_before_hello = 0;
+};
+
 class TcpTransport final : public membership::Env {
  public:
   /// Binds and starts listening immediately; local_id() is valid after
@@ -61,6 +73,9 @@ class TcpTransport final : public membership::Env {
 
   /// Number of open (or connecting) peer connections.
   [[nodiscard]] std::size_t connection_count() const;
+
+  /// Hostile/garbage traffic counters (monotonic over the transport's life).
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
 
   // --- membership::Env -------------------------------------------------------
   [[nodiscard]] NodeId self() const override { return local_id_; }
@@ -96,6 +111,7 @@ class TcpTransport final : public membership::Env {
   TcpTransportConfig config_;
   NodeId local_id_;
   Rng rng_;
+  TransportStats stats_;
 
   std::unique_ptr<Listener> listener_;
   /// Established/dialing connections keyed by peer id.

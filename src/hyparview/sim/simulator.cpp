@@ -320,7 +320,6 @@ void Simulator::reset_counters() {
 
 void Simulator::do_send(std::uint32_t from, std::uint32_t to,
                         const wire::Message& msg) {
-  HPV_CHECK(to < nodes_.size());
   // Dead nodes initiate nothing; blocked nodes are frozen applications.
   if (!nodes_[from].alive || nodes_[from].blocked) return;
   const auto* gossip = std::get_if<wire::Gossip>(&msg);
@@ -342,7 +341,12 @@ void Simulator::do_send(std::uint32_t from, std::uint32_t to,
   } else {
     ev.payload = put_message(msg);
   }
-  if (!nodes_[to].alive) {
+  // Out-of-range addresses are fabricated identities (the adversarial tier
+  // injects view entries that name no simulated process). They behave
+  // exactly like crashed peers: the write fails back to the sender after
+  // the detection delay. In-range traffic takes the historical path
+  // unchanged.
+  if (to >= nodes_.size() || !nodes_[to].alive) {
     // TCP write against a crashed peer: fails back to the sender after the
     // detection delay. The link, if any, is torn down.
     link_remove(nodes_[from], to);
@@ -372,15 +376,17 @@ void Simulator::do_send(std::uint32_t from, std::uint32_t to,
 
 void Simulator::do_connect(std::uint32_t from, std::uint32_t to,
                            membership::ConnectCallback cb) {
-  HPV_CHECK(to < nodes_.size());
   // Dead nodes initiate nothing, and neither do blocked ones: a frozen
   // process cannot reach its dial loop any more than its send path (the
   // same rule do_send applies).
   if (!nodes_[from].alive || nodes_[from].blocked) return;
+  // Fabricated (out-of-range) targets refuse the dial after the detection
+  // delay, like crashed peers.
+  const bool reachable = to < nodes_.size() && nodes_[to].alive;
   Event ev;
   ev.kind = EventKind::kConnectResult;
-  ev.at = now_ + (nodes_[to].alive ? draw_latency()
-                                   : config_.failure_detect_delay);
+  ev.at = now_ + (reachable ? draw_latency()
+                            : config_.failure_detect_delay);
   ev.node = from;
   ev.peer = to;
   ev.payload = connects_.put(std::move(cb));
@@ -388,7 +394,6 @@ void Simulator::do_connect(std::uint32_t from, std::uint32_t to,
 }
 
 void Simulator::do_disconnect(std::uint32_t from, std::uint32_t to) {
-  HPV_CHECK(to < nodes_.size());
   // Same inertness rule as do_send/do_connect: a frozen (or dead)
   // application never reaches its teardown path either.
   if (!nodes_[from].alive || nodes_[from].blocked) return;
@@ -396,9 +401,11 @@ void Simulator::do_disconnect(std::uint32_t from, std::uint32_t to) {
   // data on this connection (clamped to the link's last scheduled arrival).
   // If the remote closes its own side first — e.g. because a DISCONNECT
   // message told it to — or the pair reconnects meanwhile (new generation),
-  // the notification is suppressed at dispatch.
-  const std::size_t remote_side =
-      nodes_[to].alive ? link_slot(nodes_[to], from) : kNoLink;
+  // the notification is suppressed at dispatch. Fabricated (out-of-range)
+  // peers have no remote side to notify.
+  const std::size_t remote_side = to < nodes_.size() && nodes_[to].alive
+                                      ? link_slot(nodes_[to], from)
+                                      : kNoLink;
   if (remote_side != kNoLink) {
     TimePoint fin_at = now_ + draw_latency();
     if (const std::size_t mine = link_slot(nodes_[from], to);
@@ -533,7 +540,9 @@ void Simulator::dispatch(Event& ev) {
       // is frozen, so the link comes into being now; only the callback
       // waits for the process to resume (a dropped completion would wedge
       // any state machine gating on the dial, e.g. HyParView promotion).
-      const bool ok = ev.replay ? ev.ok : nodes_[ev.peer].alive;
+      const bool ok = ev.replay
+                          ? ev.ok
+                          : ev.peer < nodes_.size() && nodes_[ev.peer].alive;
       if (!ev.replay && ok && !link_has(node, ev.peer)) {
         link_add(node, ev.peer);
         link_add(nodes_[ev.peer], ev.node);

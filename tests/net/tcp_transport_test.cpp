@@ -1,7 +1,11 @@
 #include "hyparview/net/tcp_transport.hpp"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -236,6 +240,141 @@ TEST_F(TcpTransportTest, SimultaneousDialsBothDirectionsStillDeliver) {
       seconds(5)));
   EXPECT_EQ(std::get<wire::Gossip>(eb.deliveries[0].second).msg_id, 1u);
   EXPECT_EQ(std::get<wire::Gossip>(ea.deliveries[0].second).msg_id, 2u);
+}
+
+// --- malicious peers ---------------------------------------------------
+// A raw socket speaking garbage at the transport: each hostile frame may
+// cost only its own connection (closed + counted in TransportStats), never
+// the epoll loop or other peers' traffic. The adversarial tier's TCP story
+// rests on these bounds.
+
+/// Plain blocking loopback socket to `to` — a peer outside the transport's
+/// framing discipline. Loopback connects complete via the listen backlog,
+/// so the event loop need not run first.
+class RawSocket {
+ public:
+  explicit RawSocket(const NodeId& to) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(to.port);
+    addr.sin_addr.s_addr = htonl(to.ip);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawSocket(const RawSocket&) = delete;
+  RawSocket& operator=(const RawSocket&) = delete;
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Length-prefixed frame with an arbitrary (possibly lying) prefix.
+  void send_frame(std::uint32_t claimed_len,
+                  const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> frame;
+    frame.push_back(static_cast<std::uint8_t>(claimed_len));
+    frame.push_back(static_cast<std::uint8_t>(claimed_len >> 8));
+    frame.push_back(static_cast<std::uint8_t>(claimed_len >> 16));
+    frame.push_back(static_cast<std::uint8_t>(claimed_len >> 24));
+    frame.insert(frame.end(), body.begin(), body.end());
+    send_bytes(frame);
+  }
+
+  /// True once the transport closed its side (read returns 0 or error).
+  [[nodiscard]] bool closed_by_peer() {
+    std::uint8_t buf[64];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    return n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST_F(TcpTransportTest, OversizedFrameHeaderClosesOnlyThatConnection) {
+  RecordingEndpoint eb;
+  auto b = make_transport(&eb, 2);
+
+  RawSocket attacker(b->local_id());
+  ASSERT_TRUE(attacker.connected());
+  // A length prefix far past max_frame_bytes; no body ever follows.
+  attacker.send_frame(0xFFFF'FFFFu, {});
+  ASSERT_TRUE(loop_.run_until(
+      [&] { return b->stats().oversized_frames == 1; }, seconds(5)));
+  EXPECT_EQ(b->stats().malformed_frames, 1u);
+
+  // The loop is not wedged: an honest transport still talks to b.
+  RecordingEndpoint ea;
+  auto a = make_transport(&ea, 1);
+  a->send(b->local_id(), wire::Join{});
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(5)));
+  EXPECT_TRUE(std::holds_alternative<wire::Join>(eb.deliveries[0].second));
+
+  // The attacker lost its connection (drain the loop so the FIN lands).
+  loop_.run_until([&] { return attacker.closed_by_peer(); }, seconds(5));
+  EXPECT_TRUE(attacker.closed_by_peer());
+}
+
+TEST_F(TcpTransportTest, UndecodableFrameBodyCountsMalformed) {
+  RecordingEndpoint eb;
+  auto b = make_transport(&eb, 2);
+
+  RawSocket attacker(b->local_id());
+  ASSERT_TRUE(attacker.connected());
+  // Honest-looking length, garbage body (0xFF is no message tag).
+  attacker.send_frame(8, std::vector<std::uint8_t>(8, 0xFF));
+  ASSERT_TRUE(loop_.run_until(
+      [&] { return b->stats().malformed_frames == 1; }, seconds(5)));
+  EXPECT_EQ(b->stats().oversized_frames, 0u);
+  EXPECT_TRUE(eb.deliveries.empty());
+
+  // Other traffic unaffected.
+  RecordingEndpoint ea;
+  auto a = make_transport(&ea, 1);
+  a->send(b->local_id(), wire::Join{});
+  ASSERT_TRUE(loop_.run_until([&] { return !eb.deliveries.empty(); },
+                              seconds(5)));
+}
+
+TEST_F(TcpTransportTest, FrameBeforeHelloIsRejectedAndCounted) {
+  RecordingEndpoint eb;
+  auto b = make_transport(&eb, 2);
+
+  RawSocket attacker(b->local_id());
+  ASSERT_TRUE(attacker.connected());
+  // A perfectly well-formed frame — but the connection never identified
+  // itself with a HELLO, so it must not reach the endpoint.
+  const auto body = wire::encode_bytes(wire::Join{});
+  attacker.send_frame(static_cast<std::uint32_t>(body.size()), body);
+  ASSERT_TRUE(loop_.run_until(
+      [&] { return b->stats().frames_before_hello == 1; }, seconds(5)));
+  EXPECT_TRUE(eb.deliveries.empty());
+}
+
+TEST_F(TcpTransportTest, ByteDribbleAcrossPrefixBoundaryStillRejects) {
+  RecordingEndpoint eb;
+  auto b = make_transport(&eb, 2);
+
+  RawSocket attacker(b->local_id());
+  ASSERT_TRUE(attacker.connected());
+  // The oversized prefix arrives one byte at a time: the parser must wait
+  // for the full prefix, then reject — reassembly cannot be tricked into
+  // reading a partial length.
+  for (const std::uint8_t byte : {0xFFu, 0xFFu, 0xFFu, 0xFFu}) {
+    attacker.send_bytes({static_cast<std::uint8_t>(byte)});
+    loop_.run_until([] { return false; }, milliseconds(10));
+  }
+  ASSERT_TRUE(loop_.run_until(
+      [&] { return b->stats().oversized_frames == 1; }, seconds(5)));
 }
 
 TEST_F(TcpTransportTest, ShutdownIsIdempotent) {
