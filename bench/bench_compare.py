@@ -8,7 +8,10 @@ emitted records (anywhere under --fresh-dir, e.g. the CMake build tree after
 fails when
 
   * events_per_second dropped by more than --tolerance (default 25%), or
-  * a zero-allocation metric (*_allocs) became nonzero.
+  * a zero-allocation metric (*_allocs) became nonzero, or
+  * a deterministic event count (`events`, `*_events`) changed at all —
+    those are bit-identical at matching scale+seed on any machine, so an
+    exact mismatch is a behavior change, never noise.
 
 Scale-mismatched pairs (different nodes/messages/runs/seed/quick) are
 skipped with a notice instead of compared: throughput is only meaningful at
@@ -67,7 +70,15 @@ RATE_FIELD_SUFFIX = "_events_per_second"
 
 
 def find_bench_files(root: pathlib.Path):
-    return {p.name: p for p in sorted(root.rglob("BENCH_*.json"))}
+    # ctest runs each driver from its registering directory, so the same
+    # record can exist at several depths of the build tree (build/,
+    # build/tests/, build/bench/). The newest emission is the one this run
+    # produced; older duplicates are leftovers from earlier invocations.
+    files = {}
+    for p in sorted(root.rglob("BENCH_*.json"),
+                    key=lambda p: p.stat().st_mtime):
+        files[p.name] = p
+    return files
 
 
 def load(path: pathlib.Path):
@@ -157,6 +168,29 @@ def main() -> int:
             drift = "" if base_v <= 0.0 else f" ({new_v / base_v:.2f}x)"
             print(f"bench_compare: info {name}: {key} "
                   f"{base_v:.3f} → {new_v:.3f}{drift}")
+
+        # Bit-identity fields: at matching scale+seed the simulator event
+        # count is deterministic and machine-independent, so `events` (and
+        # any *_events counter) must match EXACTLY. A drift here is a
+        # behavior change — scheduler order, RNG draws, protocol logic —
+        # hiding in a perf record, and hardened-build/refactor PRs lean on
+        # this as their "numbers unchanged" proof.
+        for key in sorted(k for k in base
+                          if k == "events" or k.endswith("_events")):
+            if key not in new:
+                continue
+            base_events = int(base[key])
+            new_events = int(new[key])
+            if base_events != new_events:
+                failures.append(
+                    f"{name}: {key} changed {base_events:,} → "
+                    f"{new_events:,} — deterministic event count must be "
+                    "bit-identical at matching scale+seed")
+                print(f"bench_compare: FAIL {name}: {key} "
+                      f"{base_events:,} → {new_events:,} (must be exact)")
+            else:
+                print(f"bench_compare: OK {name}: {key} bit-identical "
+                      f"({base_events:,})")
 
         for key, base_value in base.items():
             if key.startswith(INFO_FIELD_PREFIXES):

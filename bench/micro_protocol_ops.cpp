@@ -26,7 +26,8 @@ void BM_RngSample(benchmark::State& state) {
   std::vector<NodeId> pool;
   for (std::uint32_t i = 0; i < 35; ++i) pool.push_back(nid(i));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.sample(pool, state.range(0)));
+    benchmark::DoNotOptimize(
+        rng.sample(pool, static_cast<std::size_t>(state.range(0))));
   }
 }
 BENCHMARK(BM_RngSample)->Arg(4)->Arg(8)->Arg(14);

@@ -100,11 +100,11 @@ std::size_t TcpBackend::spawn_node() {
       *node.transport, make_protocol(*node.transport, index), gcfg,
       &observer_);
   node.transport->set_endpoint(node.runtime.get());
-  // insert_or_assign: the kernel may hand a dead node's ephemeral port to a
-  // later listener, and over TCP the address IS the identity — a view entry
-  // naming a reused address reaches whoever owns it now, so the index must
-  // map to the current owner, not the corpse.
-  index_by_id_.insert_or_assign(node.transport->local_id().raw(), index);
+  // Overwriting insert: the kernel may hand a dead node's ephemeral port to
+  // a later listener, and over TCP the address IS the identity — a view
+  // entry naming a reused address reaches whoever owns it now, so the index
+  // must map to the current owner, not the corpse.
+  index_by_id_.insert(node.transport->local_id().raw(), index);
   nodes_.push_back(std::move(node));
   ++alive_count_;
   return index;
@@ -227,8 +227,8 @@ void TcpBackend::set_fanout(std::size_t fanout) {
 }
 
 std::size_t TcpBackend::index_of(const NodeId& id) const {
-  const auto it = index_by_id_.find(id.raw());
-  return it == index_by_id_.end() ? kNpos : it->second;
+  const std::size_t* slot = index_by_id_.find(id.raw());
+  return slot == nullptr ? kNpos : *slot;
 }
 
 std::size_t TcpBackend::peer_slot(const NodeId& peer) const {

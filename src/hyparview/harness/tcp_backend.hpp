@@ -21,10 +21,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "hyparview/analysis/broadcast_recorder.hpp"
+#include "hyparview/common/flat_hash.hpp"
 #include "hyparview/baselines/cyclon.hpp"
 #include "hyparview/baselines/scamp.hpp"
 #include "hyparview/common/time.hpp"
@@ -190,7 +190,7 @@ class TcpBackend final : public Backend {
   analysis::BroadcastRecorder recorder_;
   std::vector<TcpNode> nodes_;
   /// NodeId::raw → index (TCP ids are real ports, not dense indices).
-  std::unordered_map<std::uint64_t, std::size_t> index_by_id_;
+  FlatMap<std::uint64_t, std::size_t> index_by_id_;
   std::vector<std::size_t> cycle_order_;
   std::size_t alive_count_ = 0;
   std::uint64_t next_msg_id_ = 1;

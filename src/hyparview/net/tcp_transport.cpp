@@ -17,6 +17,18 @@ namespace {
 
 constexpr std::size_t kLenPrefixBytes = 4;
 
+// POSIX allows EAGAIN and EWOULDBLOCK to be distinct errno values; Linux
+// makes them equal, which trips -Wlogical-op / misc-redundant-expression
+// on the naive `e == EAGAIN || e == EWOULDBLOCK`. Branch at preprocessing
+// time instead so both platforms compile the minimal, warning-free test.
+constexpr bool err_would_block(int e) {
+#if EAGAIN == EWOULDBLOCK
+  return e == EAGAIN;
+#else
+  return e == EAGAIN || e == EWOULDBLOCK;
+#endif
+}
+
 Fd make_tcp_socket() {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   HPV_CHECK_THROW(fd.valid(), "socket() failed");
@@ -248,7 +260,7 @@ class TcpTransport::Connection final : public IoHandler {
         close_now(/*notify=*/!draining_, /*error=*/!draining_);
         return;
       }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (err_would_block(errno)) return;
       if (errno == EINTR) continue;
       close_now(/*notify=*/!draining_, /*error=*/!draining_);
       return;
@@ -316,7 +328,7 @@ class TcpTransport::Connection final : public IoHandler {
                     p.bytes.size() - p.offset,
                     peer_.to_string().c_str(), fd_.get(), n < 0 ? errno : 0);
       if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (err_would_block(errno)) {
           transport_->loop_.update_fd(fd_.get(), true, true);
           return;
         }
@@ -428,7 +440,7 @@ void TcpTransport::Listener::on_readable() {
     const int fd = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
                              &len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (err_would_block(errno)) return;
       if (errno == EINTR) continue;
       HPV_LOG_WARN("tcp: accept failed: errno=%d", errno);
       return;

@@ -231,7 +231,7 @@ TEST_F(WarmCacheTest, WarmSetAlwaysSubsetOfPassiveView) {
     proto_.on_cycle();
     for (std::size_t i = 0; i < env_.connects.size(); ++i) {
       if (!env_.connects[i].completed) {
-        env_.complete_connect(i, (round + i) % 3 != 0);
+        env_.complete_connect(i, (static_cast<std::size_t>(round) + i) % 3 != 0);
       }
     }
     // Churn the views a little.

@@ -185,8 +185,8 @@ INSTANTIATE_TEST_SUITE_P(Protocols, ChurnAllProtocolsTest,
                                            ProtocolKind::kCyclonAcked,
                                            ProtocolKind::kCyclon,
                                            ProtocolKind::kScamp),
-                         [](const auto& info) {
-                           return std::string(kind_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(kind_name(param_info.param));
                          });
 
 TEST(ChurnHyParViewTest, ActiveViewSymmetryHoldsAfterChurn) {

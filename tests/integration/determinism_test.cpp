@@ -44,8 +44,8 @@ INSTANTIATE_TEST_SUITE_P(
     Protocols, DeterminismTest,
     ::testing::Values(ProtocolKind::kHyParView, ProtocolKind::kCyclon,
                       ProtocolKind::kCyclonAcked, ProtocolKind::kScamp),
-    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
-      return kind_name(info.param);
+    [](const ::testing::TestParamInfo<ProtocolKind>& param_info) {
+      return kind_name(param_info.param);
     });
 
 TEST(DeterminismTest2, HealingExperimentReproducible) {

@@ -72,8 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
     Protocols, AllProtocolsTest,
     ::testing::Values(ProtocolKind::kHyParView, ProtocolKind::kCyclon,
                       ProtocolKind::kCyclonAcked, ProtocolKind::kScamp),
-    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
-      return kind_name(info.param);
+    [](const ::testing::TestParamInfo<ProtocolKind>& param_info) {
+      return kind_name(param_info.param);
     });
 
 TEST(HyParViewIntegrationTest, InDegreeConcentratesAtActiveCapacity) {
@@ -120,7 +120,7 @@ TEST(HyParViewIntegrationTest, PassiveViewsFillDuringStabilization) {
     total += net.protocol(i).backup_view().size();
   }
   const double mean = static_cast<double>(total) / 300.0;
-  EXPECT_GT(mean, cfg.hyparview.passive_capacity * 0.8);
+  EXPECT_GT(mean, static_cast<double>(cfg.hyparview.passive_capacity) * 0.8);
 }
 
 TEST(ScampIntegrationTest, StabilizationPreservesConnectivity) {

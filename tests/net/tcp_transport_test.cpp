@@ -369,7 +369,7 @@ TEST_F(TcpTransportTest, ByteDribbleAcrossPrefixBoundaryStillRejects) {
   // The oversized prefix arrives one byte at a time: the parser must wait
   // for the full prefix, then reject — reassembly cannot be tricked into
   // reading a partial length.
-  for (const std::uint8_t byte : {0xFFu, 0xFFu, 0xFFu, 0xFFu}) {
+  for (const unsigned byte : {0xFFu, 0xFFu, 0xFFu, 0xFFu}) {
     attacker.send_bytes({static_cast<std::uint8_t>(byte)});
     loop_.run_until([] { return false; }, milliseconds(10));
   }

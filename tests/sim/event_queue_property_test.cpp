@@ -195,7 +195,7 @@ TEST(EventQueueProperty, WrapperDispatchesToConfiguredStructure) {
   EXPECT_STREQ(heap_q.name(), "heap");
   EXPECT_STREQ(cal_q.name(), "calendar");
   for (std::uint64_t seq = 0; seq < 100; ++seq) {
-    const TimePoint at = (seq * 7919) % 5000;
+    const auto at = static_cast<TimePoint>((seq * 7919) % 5000);
     // Out-of-order pushes are fine before any pop (now == 0).
     heap_q.push({at, seq});
     cal_q.push({at, seq});
@@ -310,7 +310,8 @@ SimTrace run_scripted_sim(EventQueueKind kind) {
     const std::uint64_t watermark = sim.next_event_seq();
     for (std::uint32_t i = 0; i < kNodes; ++i) {
       endpoints[i]->arm(4);
-      const auto peer = static_cast<std::uint32_t>((i * 7 + round) % kNodes);
+      const std::uint32_t peer =
+          (i * 7 + static_cast<std::uint32_t>(round)) % kNodes;
       if (peer == i) continue;
       sim.env(NodeId::from_index(i))
           .send(NodeId::from_index(peer), wire::Join{});

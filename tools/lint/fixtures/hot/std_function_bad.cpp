@@ -1,0 +1,14 @@
+// Positive fixture: std::function inside a hot-path dir must fire.
+#include <functional>
+
+namespace fixture {
+
+struct Timer {
+  std::function<void()> on_fire;  // LINT-EXPECT: std-function-hot-path
+};
+
+inline void arm(Timer& t, std::function<void()> fn) {  // LINT-EXPECT: std-function-hot-path
+  t.on_fire = fn;
+}
+
+}  // namespace fixture

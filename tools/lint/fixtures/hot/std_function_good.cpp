@@ -1,0 +1,12 @@
+// Negative fixture: the project's InplaceFunction (SBO, allocation-free)
+// is the sanctioned callable wrapper in hot paths.
+namespace fixture {
+
+template <typename Sig, int N = 48>
+struct InplaceFunction {};
+
+struct Timer {
+  InplaceFunction<void()> on_fire;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Positive fixture: explicit heap allocation inside zero-alloc-gated
+// function bodies must fire; the same expressions in UNGATED functions
+// must not (the rule is function-scoped, not file-scoped).
+#include <cstdlib>
+#include <memory>
+
+namespace fixture {
+
+struct HotDemo {
+  void gated_push(int n);
+  int* scratch = nullptr;
+};
+
+void HotDemo::gated_push(int n) {
+  scratch = new int[16];                   // LINT-EXPECT: hot-path-alloc
+  auto boxed = std::make_unique<int>(n);   // LINT-EXPECT: hot-path-alloc
+  void* raw = malloc(16);                  // LINT-EXPECT: hot-path-alloc
+  free(raw);
+  (void)boxed;
+}
+
+int* gated_inline(int n) {
+  return new int(n);  // LINT-EXPECT: hot-path-alloc
+}
+
+// Ungated: allocation here is setup-path and must NOT fire.
+inline int* build_table(int n) {
+  return new int[static_cast<unsigned>(n)];
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Negative fixture: gated bodies using placement-new (slot pools), reused
+// scratch and plain stores must not fire.
+#include <new>
+
+namespace fixture {
+
+struct HotDemo {
+  void gated_push(int n);
+  alignas(int) unsigned char slab[64] = {};
+  int used = 0;
+};
+
+void HotDemo::gated_push(int n) {
+  // Placement-new into a pre-allocated slab is the slot-pool idiom.
+  int* slot = new (slab + used * sizeof(int)) int(n);
+  used = (used + 1) % 16;
+  (void)slot;
+}
+
+inline int gated_inline(int n) {
+  int local = n * 2;  // stack storage only
+  return local;
+}
+
+}  // namespace fixture

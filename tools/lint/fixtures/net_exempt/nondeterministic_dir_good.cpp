@@ -1,0 +1,23 @@
+// Negative fixture: files under a nondeterministic dir (net/ in the real
+// tree) are exempt from the determinism rules — wall clocks, unordered
+// maps and entropy are the transport's business.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+inline long real_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+struct ConnTable {
+  std::unordered_map<int, int> by_fd;
+};
+
+inline unsigned ephemeral_port() {
+  std::random_device rd;
+  return rd() % 16384u + 49152u;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Positive fixture: containers keyed by pointer must fire. Note the
+// std::unordered_map line fires BOTH rules (unordered + pointer key).
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace fixture {
+
+template <typename K, typename V>
+struct FlatMap {};
+
+struct Conn {};
+
+struct BadTables {
+  FlatMap<Conn*, int> by_conn;          // LINT-EXPECT: pointer-keyed-container
+  std::map<const Conn*, int> sorted;    // LINT-EXPECT: pointer-keyed-container
+  std::set<Conn*> live;                 // LINT-EXPECT: pointer-keyed-container
+  std::unordered_map<Conn*, int> hash;  // LINT-EXPECT: pointer-keyed-container, unordered-container
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Negative fixture: pointer VALUES are fine (only keys order a walk);
+// integer and id keys are fine.
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+template <typename K, typename V>
+struct FlatMap {};
+
+struct Conn {};
+
+struct GoodTables {
+  std::map<int, Conn*> by_fd;                    // pointer value, int key
+  FlatMap<std::uint64_t, Conn*> by_id;           // pointer value, id key
+  FlatMap<std::uint64_t, std::size_t> index_of;  // dense-index table
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Negative fixture: std::function OUTSIDE the configured hot-path dirs
+// (harness thread pools, net event loop) is allowed — the rule is scoped,
+// not global.
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+struct JobQueue {
+  std::vector<std::function<void()>> jobs;  // setup path: allowed here
+};
+
+}  // namespace fixture

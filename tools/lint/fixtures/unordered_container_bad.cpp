@@ -1,0 +1,18 @@
+// Positive fixture: std::unordered_* in deterministic code must fire.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct DedupState {
+  std::unordered_map<int, int> by_id;  // LINT-EXPECT: unordered-container
+  std::unordered_set<long> seen;       // LINT-EXPECT: unordered-container
+};
+
+inline int count(const DedupState& s) {
+  int n = 0;
+  for (const auto& [k, v] : s.by_id) n += v + k;
+  return n;
+}
+
+}  // namespace fixture

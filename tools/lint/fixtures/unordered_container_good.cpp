@@ -1,0 +1,21 @@
+// Negative fixture: the include line, comments and string literals that
+// merely *mention* std::unordered_map must not fire; neither may the
+// project's own FlatMap.
+#include <cstdint>
+#include <unordered_map>  // include line alone carries no std:: token
+
+namespace fixture {
+
+template <typename K, typename V>
+struct FlatMap {};
+
+// A comment naming std::unordered_map<int, int> is stripped before rules.
+inline const char* doc() {
+  return "prefer FlatMap over std::unordered_map<K, V> in sim code";
+}
+
+struct GoodState {
+  FlatMap<std::uint64_t, std::uint32_t> by_id;
+};
+
+}  // namespace fixture

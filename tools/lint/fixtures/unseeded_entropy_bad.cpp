@@ -1,0 +1,13 @@
+// Positive fixture: unseeded entropy sources must fire.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int draw() {
+  std::random_device rd;       // LINT-EXPECT: unseeded-entropy
+  srand(42);                   // LINT-EXPECT: unseeded-entropy
+  return rand() + (int)rd();   // LINT-EXPECT: unseeded-entropy
+}
+
+}  // namespace fixture

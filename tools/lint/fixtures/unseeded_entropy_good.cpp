@@ -1,0 +1,26 @@
+// Negative fixture: the project's seeded Rng idiom and identifiers that
+// merely contain "rand" must not fire.
+#include <cstdint>
+
+namespace fixture {
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ += 0x9e3779b97f4a7c15ull; }
+  std::uint64_t state_;
+};
+
+inline std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
+  return master ^ (0xa0761d6478bd642full * (stream + 1));
+}
+
+inline std::uint64_t draw(std::uint64_t master) {
+  Rng rng(derive_seed(master, 7));
+  return rng.next();
+}
+
+inline int operand(int x) { return x; }  // "rand" inside a word is fine
+
+inline int uses_operand() { return operand(3); }
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Positive fixture: host-clock reads in deterministic code must fire.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+inline long stamp() {
+  auto t = std::chrono::steady_clock::now();  // LINT-EXPECT: wall-clock
+  timespec ts{};
+  clock_gettime(0, &ts);                      // LINT-EXPECT: wall-clock
+  long wall = time(nullptr);                  // LINT-EXPECT: wall-clock
+  return t.time_since_epoch().count() + ts.tv_sec + wall;
+}
+
+}  // namespace fixture

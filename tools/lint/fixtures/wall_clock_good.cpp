@@ -1,0 +1,19 @@
+// Negative fixture: simulated time (TimePoint ticks) and identifiers that
+// merely end in "time" must not fire.
+#include <cstdint>
+
+namespace fixture {
+
+using TimePoint = std::int64_t;
+
+inline TimePoint advance(TimePoint now, std::int64_t delta) {
+  return now + delta;  // sim time is plain arithmetic, never a clock read
+}
+
+inline int my_time(decltype(nullptr)) { return 0; }
+
+inline int uses_suffixed_identifier() {
+  return my_time(nullptr);  // \btime\( must not match my_time(
+}
+
+}  // namespace fixture

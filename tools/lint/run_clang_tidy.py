@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""run_clang_tidy.py — clang-tidy driver for the hyparview tree.
+
+Reads compile_commands.json from the build dir, filters to first-party
+sources (src/ by default; --include-tests adds tests/ and bench/), and
+runs clang-tidy in parallel with the repo-root .clang-tidy profile.
+Findings are treated as errors (-warnings-as-errors=*), so this is a
+gate, not a report.
+
+Exit codes: 0 clean, 1 findings, 77 clang-tidy not installed (CTest
+SKIP_RETURN_CODE — dev boxes without LLVM skip; CI installs it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+CANDIDATES = [
+    "clang-tidy",
+    "clang-tidy-20", "clang-tidy-19", "clang-tidy-18",
+    "clang-tidy-17", "clang-tidy-16", "clang-tidy-15", "clang-tidy-14",
+]
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", type=Path, required=True,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--source-root", type=Path,
+                    default=Path(__file__).resolve().parents[2],
+                    help="repo root (filters entries + finds .clang-tidy)")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: first found)")
+    ap.add_argument("--include-tests", action="store_true",
+                    help="also lint tests/ and bench/ translation units")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=os.cpu_count() or 4)
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print("clang-tidy not found — skipping (install clang-tidy to "
+              "enable; CI does)")
+        return 77
+
+    db = args.build_dir / "compile_commands.json"
+    if not db.exists():
+        print(f"error: {db} missing — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo default)")
+        return 1
+
+    root = args.source_root.resolve()
+    wanted = [root / "src"]
+    if args.include_tests:
+        wanted += [root / "tests", root / "bench"]
+
+    files: list[str] = []
+    for entry in json.loads(db.read_text()):
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = (Path(entry["directory"]) / f).resolve()
+        if any(f.is_relative_to(w) for w in wanted):
+            files.append(str(f))
+    files = sorted(set(files))
+    if not files:
+        print("error: no first-party translation units in the database")
+        return 1
+
+    print(f"{tidy}: {len(files)} translation units, -j{args.jobs}")
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "-warnings-as-errors=*",
+             "-quiet", path],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        return path, proc.returncode, proc.stdout
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, rc, out in pool.map(run_one, files):
+            rel = os.path.relpath(path, root)
+            if rc != 0:
+                failed += 1
+                print(f"FAIL {rel}\n{out}")
+            else:
+                print(f"  ok {rel}")
+
+    if failed:
+        print(f"clang-tidy: {failed}/{len(files)} files with findings")
+        return 1
+    print(f"clang-tidy: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
