@@ -44,18 +44,30 @@ std::string lower_name(harness::ProtocolKind kind) {
   return name;
 }
 
+/// The committed specs/adversarial_<attack>.json pins the phase program
+/// (stabilize → [sybil burst] → pressure cycles → probe broadcast); the
+/// scale-dependent knobs are patched per leg.
 harness::Experiment attack_spec(harness::AttackKind attack,
                                 std::size_t sybils_per_burst,
                                 std::size_t probes,
                                 const harness::CycleOptions& options) {
-  harness::Experiment spec(std::string("adversarial_") +
-                           harness::attack_name(attack));
-  spec.stabilize(20, options);
-  if (attack == harness::AttackKind::kSybil) {
-    spec.sybil_burst(sybils_per_burst);
+  harness::Experiment spec = bench::load_spec_experiment(
+      std::string("adversarial_") + harness::attack_name(attack));
+  for (auto& phase : spec.mutable_phases()) {
+    switch (phase.kind) {
+      case harness::Experiment::PhaseKind::kCycles:
+        phase.cycle_options = options;
+        break;
+      case harness::Experiment::PhaseKind::kBroadcast:
+        phase.count = probes;
+        break;
+      case harness::Experiment::PhaseKind::kSybilBurst:
+        phase.count = sybils_per_burst;
+        break;
+      default:
+        break;
+    }
   }
-  spec.cycles(10, options, "pressure");
-  spec.broadcast(probes, "after");
   return spec;
 }
 

@@ -16,6 +16,7 @@
 #include "hyparview/common/options.hpp"
 #include "hyparview/harness/experiment.hpp"
 #include "hyparview/harness/scale.hpp"
+#include "hyparview/harness/spec_json.hpp"
 #include "hyparview/harness/sweep_runner.hpp"
 
 namespace hyparview::bench {
@@ -63,6 +64,16 @@ inline harness::NetworkConfig sim_config(harness::ProtocolKind kind,
 inline harness::Cluster sim_cluster(harness::ProtocolKind kind,
                                     std::size_t nodes, std::uint64_t seed) {
   return harness::Cluster::sim(sim_config(kind, nodes, seed));
+}
+
+/// Loads a committed experiment spec (specs/<name>.json; HPV_SPEC_DIR
+/// overrides the directory) and returns its phase program. The committed
+/// file pins the program's *shape*; drivers patch the scale-dependent knobs
+/// (broadcast counts, cycle batching, crash fractions) through
+/// mutable_phases(), so env-scaled runs stay bit-identical to the
+/// historical hand-built specs.
+inline harness::Experiment load_spec_experiment(const std::string& name) {
+  return harness::load_spec_file(harness::spec_path(name)).experiment;
 }
 
 /// Membership-round drain batching for the stabilize/heal phases.

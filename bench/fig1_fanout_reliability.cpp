@@ -10,6 +10,10 @@
 // then per fanout a set_fanout + measured-broadcast phase — run on a sim
 // Cluster. Bit-identical to the historical hand-rolled loop at a fixed
 // seed (pinned by experiment_test).
+//
+// The phase programs load from the committed specs/fig1.json and
+// specs/fig1_reference.json; only the scale-dependent knobs (broadcast
+// counts, cycle batching) are patched from the env.
 #include "bench_common.hpp"
 
 using namespace hyparview;
@@ -18,6 +22,21 @@ namespace {
 
 std::string fanout_label(std::size_t fanout) {
   return "fanout" + std::to_string(fanout);
+}
+
+/// Loads specs/<name>.json and rescales it: broadcast counts follow
+/// HPV_MSGS, membership rounds follow HPV_CYCLE_BATCH.
+harness::Experiment scaled_spec(const std::string& name,
+                                std::size_t messages) {
+  harness::Experiment spec = bench::load_spec_experiment(name);
+  for (auto& phase : spec.mutable_phases()) {
+    if (phase.kind == harness::Experiment::PhaseKind::kCycles) {
+      phase.cycle_options = bench::env_cycle_options();
+    } else if (phase.kind == harness::Experiment::PhaseKind::kBroadcast) {
+      phase.count = messages;
+    }
+  }
+  return spec;
 }
 
 }  // namespace
@@ -32,17 +51,12 @@ int main() {
   analysis::Table table({"protocol", "fanout", "avg reliability",
                          "min reliability", "paper"});
 
+  const harness::Experiment spec = scaled_spec("fig1", scale.messages);
   for (const auto kind :
        {harness::ProtocolKind::kCyclon, harness::ProtocolKind::kScamp}) {
     for (std::size_t run = 0; run < scale.runs; ++run) {
       bench::Stopwatch watch;
       auto cluster = bench::sim_cluster(kind, scale.nodes, scale.seed + run);
-      harness::Experiment spec("fig1_sweep");
-      spec.stabilize(50, bench::env_cycle_options());
-      for (const std::size_t fanout : fanouts) {
-        spec.set_fanout(fanout).broadcast(scale.messages,
-                                          fanout_label(fanout));
-      }
       const auto result = cluster.run(spec);
 
       for (const std::size_t fanout : fanouts) {
@@ -75,9 +89,7 @@ int main() {
     auto cluster = bench::sim_cluster(harness::ProtocolKind::kHyParView,
                                       scale.nodes, scale.seed);
     const auto result =
-        cluster.run(harness::Experiment("fig1_reference")
-                        .stabilize(50, bench::env_cycle_options())
-                        .broadcast(scale.messages, "flood"));
+        cluster.run(scaled_spec("fig1_reference", scale.messages));
     bench_json.add_events(cluster->events_processed());
     bench::add_phase_timings(bench_json, result, "HyParView_");
     const auto summary =

@@ -11,6 +11,10 @@
 // seeded from (config, seed) alone, so the sweep fans out across threads
 // (harness::SweepRunner, HPV_THREADS); per-point results and the aggregated
 // table are bit-identical to the serial loop.
+//
+// The phase program loads from the committed specs/fig2.json; each point
+// copies the template and rewrites the crash fraction (plus the env-scaled
+// broadcast count and cycle batching).
 #include "bench_common.hpp"
 
 using namespace hyparview;
@@ -50,17 +54,30 @@ int main() {
     }
   }
 
+  // Shared phase-program template; each job copies it and rewrites the
+  // crash fraction (SweepRunner jobs own their Experiment copy).
+  harness::Experiment spec_template = bench::load_spec_experiment("fig2");
+  for (auto& phase : spec_template.mutable_phases()) {
+    if (phase.kind == harness::Experiment::PhaseKind::kCycles) {
+      phase.cycle_options = bench::env_cycle_options();
+    } else if (phase.kind == harness::Experiment::PhaseKind::kBroadcast) {
+      phase.count = scale.messages;
+    }
+  }
+
   std::vector<std::function<void()>> jobs;
   jobs.reserve(points.size());
   for (Point& point : points) {
     jobs.push_back([&, p = &point] {
       auto cluster = bench::sim_cluster(p->kind, scale.nodes,
                                         scale.seed + p->run * 1000 + p->f);
-      const auto result =
-          cluster.run(harness::Experiment("fig2_point")
-                          .stabilize(50, bench::env_cycle_options())
-                          .crash(fractions[p->f])
-                          .broadcast(scale.messages, "measure"));
+      harness::Experiment spec = spec_template;
+      for (auto& phase : spec.mutable_phases()) {
+        if (phase.kind == harness::Experiment::PhaseKind::kCrash) {
+          phase.fraction = fractions[p->f];
+        }
+      }
+      const auto result = cluster.run(spec);
       p->reliability = result.phase("measure").avg_reliability();
       p->events = cluster->events_processed();
       const std::lock_guard<std::mutex> lock(bench::sweep_print_mutex());

@@ -20,6 +20,7 @@ using namespace hyparview;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  args.check_known({"nodes", "cycles", "churn", "graceful", "warm", "seed"});
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 2000));
   const auto cycles = static_cast<std::size_t>(args.get_int("cycles", 30));
   const double churn_rate = args.get_double("churn", 0.02);

@@ -21,6 +21,7 @@ using namespace hyparview;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  args.check_known({"backend", "nodes", "kill", "msgs", "seed"});
   const bool use_tcp = args.get("backend", "sim") == "tcp";
   // One socket (plus connections) per node: a sim-scale default would blow
   // the fd limit over TCP, so the substrate picks its own default size.

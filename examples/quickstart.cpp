@@ -14,6 +14,7 @@ using namespace hyparview;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  args.check_known({"nodes", "seed"});
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 64));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
 

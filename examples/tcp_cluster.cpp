@@ -35,6 +35,7 @@ void print_phase(const harness::ExperimentResult& result,
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  args.check_known({"nodes", "msgs", "kill"});
   const auto node_count = static_cast<std::size_t>(args.get_int("nodes", 16));
   const auto msgs = static_cast<std::size_t>(args.get_int("msgs", 5));
   const bool kill_one = args.get_int("kill", 1) != 0;

@@ -17,6 +17,7 @@ using namespace hyparview;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  args.check_known({"nodes", "kill", "msgs", "seed"});
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 2000));
   const double kill = args.get_double("kill", 0.8);
   const auto msgs = static_cast<std::size_t>(args.get_int("msgs", 60));

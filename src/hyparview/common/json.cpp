@@ -1,0 +1,21 @@
+#include "hyparview/common/json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hyparview::json {
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HPV_CHECK_THROW(in.is_open(), "json: cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  HPV_CHECK_THROW(!in.bad(), "json: read error: " + path);
+  try {
+    return Value::parse(buf.str());
+  } catch (const CheckError& e) {
+    throw CheckError(path + ": " + e.what());
+  }
+}
+
+}  // namespace hyparview::json

@@ -1,0 +1,533 @@
+// Minimal deterministic JSON parser/writer (header-only, stdlib-only).
+//
+// Built for the data-driven experiment layer (harness/spec_json.hpp) and the
+// live stats export: experiment specs load from committed .json files and the
+// stats endpoint serializes snapshots, so the codec must exist without a
+// third-party dependency and must be *deterministic*:
+//
+//  * object members keep insertion order (a std::vector of pairs, never a
+//    hash map), so dump() output is byte-stable across runs and platforms;
+//  * numbers go through std::to_chars / std::from_chars — locale-free by
+//    specification, shortest-round-trip for doubles — never printf/strtod,
+//    whose decimal point follows the process locale;
+//  * integers and doubles are distinct kinds: a spec's `"seed": 42` survives
+//    a round trip as exactly 42, not 42.0 (and integer overflow is a parse
+//    error, not a silent saturation).
+//
+// The grammar is RFC 8259 minus nothing the specs need: null/bool/number/
+// string/array/object, \uXXXX escapes (BMP; surrogate pairs supported),
+// nesting bounded by kMaxDepth. Parse errors throw CheckError with a line
+// number and what was expected.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "hyparview/common/assert.hpp"
+
+namespace hyparview::json {
+
+class Value;
+
+/// Insertion-ordered object representation: deterministic iteration and
+/// byte-stable serialization (see file header). Lookup is a linear scan —
+/// spec objects hold tens of keys, not thousands.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Value>;
+  using Object = std::vector<Member>;
+
+  Value() : data_(std::monostate{}) {}
+  Value(std::nullptr_t) : data_(std::monostate{}) {}
+  Value(bool b) : data_(b) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned int i) : data_(static_cast<std::int64_t>(i)) {}
+  // size_t / uint64_t counts are ubiquitous in the configs; values above
+  // int64 range do not occur in practice (and would not round-trip JSON).
+  Value(std::uint64_t i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  [[nodiscard]] static Value array() { return Value(Array{}); }
+  [[nodiscard]] static Value object() { return Value(Object{}); }
+
+  [[nodiscard]] Kind kind() const {
+    return static_cast<Kind>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind() == Kind::kInt; }
+  [[nodiscard]] bool is_double() const { return kind() == Kind::kDouble; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return kind() == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind() == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind() == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const {
+    HPV_CHECK_THROW(is_bool(), "json: value is not a bool");
+    return std::get<bool>(data_);
+  }
+  [[nodiscard]] std::int64_t as_int() const {
+    HPV_CHECK_THROW(is_int(), "json: value is not an integer");
+    return std::get<std::int64_t>(data_);
+  }
+  /// Any number as a double (ints convert).
+  [[nodiscard]] double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+    HPV_CHECK_THROW(is_double(), "json: value is not a number");
+    return std::get<double>(data_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    HPV_CHECK_THROW(is_string(), "json: value is not a string");
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const Array& as_array() const {
+    HPV_CHECK_THROW(is_array(), "json: value is not an array");
+    return std::get<Array>(data_);
+  }
+  [[nodiscard]] Array& as_array() {
+    HPV_CHECK_THROW(is_array(), "json: value is not an array");
+    return std::get<Array>(data_);
+  }
+  [[nodiscard]] const Object& as_object() const {
+    HPV_CHECK_THROW(is_object(), "json: value is not an object");
+    return std::get<Object>(data_);
+  }
+  [[nodiscard]] Object& as_object() {
+    HPV_CHECK_THROW(is_object(), "json: value is not an object");
+    return std::get<Object>(data_);
+  }
+
+  /// Object member by key, or nullptr (first match; parse rejects
+  /// duplicates, so members are unique in parsed documents).
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    for (const Member& m : as_object()) {
+      if (m.first == key) return &m.second;
+    }
+    return nullptr;
+  }
+
+  /// Appends a member (objects) — the builder-side API. The value is
+  /// constructed in place inside the member pair: no temporary Value is
+  /// moved through the pair constructor, which also sidesteps GCC 12's
+  /// std::variant -Wmaybe-uninitialized false positive on such moves.
+  template <typename T>
+  Value& set(std::string key, T&& v) {
+    as_object().emplace_back(std::piecewise_construct,
+                             std::forward_as_tuple(std::move(key)),
+                             std::forward_as_tuple(std::forward<T>(v)));
+    return *this;
+  }
+  /// Appends an element (arrays).
+  Value& push_back(Value v) {
+    as_array().push_back(std::move(v));
+    return *this;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+  // --- Serialization ---------------------------------------------------------
+
+  /// Compact when indent == 0; pretty-printed (2-space, one member per
+  /// line) when indent > 0. Output is byte-stable: insertion order, shortest
+  /// round-trip numbers, no locale.
+  [[nodiscard]] std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent, 0);
+    if (indent > 0) out.push_back('\n');
+    return out;
+  }
+
+  // --- Parsing ---------------------------------------------------------------
+
+  /// Parses exactly one JSON document (trailing non-whitespace is an
+  /// error). Throws CheckError with a line number on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text) {
+    Parser p(text);
+    Value v = p.parse_value(0);
+    p.skip_ws();
+    HPV_CHECK_THROW(p.at_end(),
+                    "json: trailing garbage after document (line " +
+                        std::to_string(p.line()) + ")");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  class Parser {
+   public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+    [[nodiscard]] int line() const { return line_; }
+
+    void skip_ws() {
+      while (pos_ < text_.size()) {
+        const char c = text_[pos_];
+        if (c == '\n') ++line_;
+        if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+        ++pos_;
+      }
+    }
+
+    Value parse_value(int depth) {
+      HPV_CHECK_THROW(depth < kMaxDepth, "json: nesting too deep");
+      skip_ws();
+      HPV_CHECK_THROW(!at_end(), err("value"));
+      switch (text_[pos_]) {
+        case '{': return parse_object(depth);
+        case '[': return parse_array(depth);
+        case '"': return Value(parse_string());
+        case 't': expect_word("true"); return Value(true);
+        case 'f': expect_word("false"); return Value(false);
+        case 'n': expect_word("null"); return Value(nullptr);
+        default: return parse_number();
+      }
+    }
+
+   private:
+    [[nodiscard]] std::string err(const char* expected) const {
+      return std::string("json: expected ") + expected + " at line " +
+             std::to_string(line_);
+    }
+
+    void expect(char c, const char* what) {
+      skip_ws();
+      HPV_CHECK_THROW(pos_ < text_.size() && text_[pos_] == c, err(what));
+      ++pos_;
+    }
+
+    void expect_word(std::string_view word) {
+      HPV_CHECK_THROW(text_.substr(pos_, word.size()) == word,
+                      err("true/false/null"));
+      pos_ += word.size();
+    }
+
+    Value parse_object(int depth) {
+      expect('{', "'{'");
+      Value obj = Value::object();
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        HPV_CHECK_THROW(pos_ < text_.size() && text_[pos_] == '"',
+                        err("object key string"));
+        std::string key = parse_string();
+        HPV_CHECK_THROW(obj.find(key) == nullptr,
+                        "json: duplicate object key '" + key + "' (line " +
+                            std::to_string(line_) + ")");
+        expect(':', "':' after object key");
+        obj.as_object().emplace_back(std::move(key),
+                                     parse_value(depth + 1));
+        skip_ws();
+        HPV_CHECK_THROW(pos_ < text_.size(), err("',' or '}'"));
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return obj;
+        }
+        HPV_CHECK_THROW(false, err("',' or '}'"));
+      }
+    }
+
+    Value parse_array(int depth) {
+      expect('[', "'['");
+      Value arr = Value::array();
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return arr;
+      }
+      while (true) {
+        arr.as_array().push_back(parse_value(depth + 1));
+        skip_ws();
+        HPV_CHECK_THROW(pos_ < text_.size(), err("',' or ']'"));
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return arr;
+        }
+        HPV_CHECK_THROW(false, err("',' or ']'"));
+      }
+    }
+
+    std::string parse_string() {
+      HPV_CHECK_THROW(pos_ < text_.size() && text_[pos_] == '"',
+                      err("string"));
+      ++pos_;
+      std::string out;
+      while (true) {
+        HPV_CHECK_THROW(pos_ < text_.size(), err("closing '\"'"));
+        const char c = text_[pos_++];
+        if (c == '"') return out;
+        HPV_CHECK_THROW(static_cast<unsigned char>(c) >= 0x20,
+                        "json: unescaped control character in string (line " +
+                            std::to_string(line_) + ")");
+        if (c != '\\') {
+          out.push_back(c);
+          continue;
+        }
+        HPV_CHECK_THROW(pos_ < text_.size(), err("escape character"));
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': append_unicode_escape(out); break;
+          default:
+            HPV_CHECK_THROW(false, "json: invalid escape '\\" +
+                                       std::string(1, esc) + "' (line " +
+                                       std::to_string(line_) + ")");
+        }
+      }
+    }
+
+    std::uint32_t parse_hex4() {
+      HPV_CHECK_THROW(pos_ + 4 <= text_.size(), err("4 hex digits"));
+      std::uint32_t code = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char h = text_[pos_++];
+        code <<= 4;
+        if (h >= '0' && h <= '9') {
+          code |= static_cast<std::uint32_t>(h - '0');
+        } else if (h >= 'a' && h <= 'f') {
+          code |= static_cast<std::uint32_t>(h - 'a' + 10);
+        } else if (h >= 'A' && h <= 'F') {
+          code |= static_cast<std::uint32_t>(h - 'A' + 10);
+        } else {
+          HPV_CHECK_THROW(false, err("hex digit in \\u escape"));
+        }
+      }
+      return code;
+    }
+
+    void append_unicode_escape(std::string& out) {
+      std::uint32_t code = parse_hex4();
+      if (code >= 0xD800 && code <= 0xDBFF) {
+        // High surrogate: a low surrogate must follow.
+        HPV_CHECK_THROW(pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                            text_[pos_ + 1] == 'u',
+                        err("low surrogate after high surrogate"));
+        pos_ += 2;
+        const std::uint32_t low = parse_hex4();
+        HPV_CHECK_THROW(low >= 0xDC00 && low <= 0xDFFF,
+                        "json: invalid surrogate pair (line " +
+                            std::to_string(line_) + ")");
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      } else {
+        HPV_CHECK_THROW(!(code >= 0xDC00 && code <= 0xDFFF),
+                        "json: lone low surrogate (line " +
+                            std::to_string(line_) + ")");
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    }
+
+    Value parse_number() {
+      const std::size_t start = pos_;
+      if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+      bool is_floating = false;
+      while (pos_ < text_.size()) {
+        const char c = text_[pos_];
+        if (c >= '0' && c <= '9') {
+          ++pos_;
+        } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+          is_floating = true;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      const std::string_view token = text_.substr(start, pos_ - start);
+      HPV_CHECK_THROW(!token.empty() && token != "-", err("number"));
+      const char* first = token.data();
+      const char* last = token.data() + token.size();
+      if (!is_floating) {
+        std::int64_t i = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, i);
+        // Overflow (result_out_of_range) is a hard error — the config
+        // loaders must never see a silently saturated count.
+        HPV_CHECK_THROW(ec == std::errc() && ptr == last,
+                        "json: integer out of range or malformed (line " +
+                            std::to_string(line_) + ")");
+        return Value(i);
+      }
+      double d = 0.0;
+      const auto [ptr, ec] = std::from_chars(first, last, d);
+      HPV_CHECK_THROW(ec == std::errc() && ptr == last,
+                      "json: malformed or out-of-range number (line " +
+                          std::to_string(line_) + ")");
+      return Value(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+  };
+
+  static void write_string(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char ch : s) {
+      const auto c = static_cast<unsigned char>(ch);
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            constexpr char kHex[] = "0123456789abcdef";
+            out += "\\u00";
+            out.push_back(kHex[c >> 4]);
+            out.push_back(kHex[c & 0xF]);
+          } else {
+            out.push_back(ch);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  static void write_number(std::string& out, std::int64_t i) {
+    char buf[24];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), i);
+    HPV_ASSERT(ec == std::errc());
+    out.append(buf, ptr);
+  }
+
+  static void write_number(std::string& out, double d) {
+    // to_chars is locale-free and emits the shortest representation that
+    // round-trips. JSON has no inf/nan tokens; reject instead of emitting
+    // an unparsable document.
+    HPV_CHECK_THROW(d == d && d <= 1.7976931348623157e308 &&
+                        d >= -1.7976931348623157e308,
+                    "json: cannot serialize non-finite number");
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    HPV_ASSERT(ec == std::errc());
+    std::string_view token(buf, static_cast<std::size_t>(ptr - buf));
+    out.append(token);
+    // Keep the double-ness visible so a round trip preserves the kind
+    // ("2.0" stays a double; bare "2" would re-parse as an integer).
+    if (token.find('.') == std::string_view::npos &&
+        token.find('e') == std::string_view::npos &&
+        token.find('E') == std::string_view::npos) {
+      out += ".0";
+    }
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const auto newline_pad = [&](int d) {
+      if (indent <= 0) return;
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (kind()) {
+      case Kind::kNull: out += "null"; break;
+      case Kind::kBool: out += std::get<bool>(data_) ? "true" : "false"; break;
+      case Kind::kInt: write_number(out, std::get<std::int64_t>(data_)); break;
+      case Kind::kDouble: write_number(out, std::get<double>(data_)); break;
+      case Kind::kString: write_string(out, std::get<std::string>(data_)); break;
+      case Kind::kArray: {
+        const Array& a = std::get<Array>(data_);
+        if (a.empty()) {
+          out += "[]";
+          break;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          newline_pad(depth + 1);
+          a[i].write(out, indent, depth + 1);
+        }
+        newline_pad(depth);
+        out.push_back(']');
+        break;
+      }
+      case Kind::kObject: {
+        const Object& o = std::get<Object>(data_);
+        if (o.empty()) {
+          out += "{}";
+          break;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < o.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          newline_pad(depth + 1);
+          write_string(out, o[i].first);
+          out.push_back(':');
+          if (indent > 0) out.push_back(' ');
+          o[i].second.write(out, indent, depth + 1);
+        }
+        newline_pad(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+  }
+
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               Array, Object>
+      data_;
+};
+
+/// Reads a whole file and parses it; errors name the path.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace hyparview::json

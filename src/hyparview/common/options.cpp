@@ -1,9 +1,53 @@
 #include "hyparview/common/options.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
+#include "hyparview/common/assert.hpp"
+
 namespace hyparview {
+namespace {
+
+// Shared by the env_* readers and ArgParser getters. Malformed text keeps the
+// historical fall-back contract; out-of-range text throws, because strtoll/
+// strtod *saturate* on overflow (LLONG_MAX / ±HUGE_VAL with errno==ERANGE)
+// while still passing the `*end=='\0'` shape check — the one failure mode a
+// caller cannot detect after the fact.
+
+enum class Parse : std::uint8_t { kOk, kMalformed, kOutOfRange };
+
+Parse parse_int(const char* text, std::int64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return Parse::kMalformed;
+  if (errno == ERANGE) return Parse::kOutOfRange;
+  out = parsed;
+  return Parse::kOk;
+}
+
+Parse parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0') return Parse::kMalformed;
+  // ERANGE covers overflow-to-inf and underflow-to-0/denormal; an explicit
+  // "inf"/"nan" literal parses cleanly with errno==0, so check finiteness too
+  // (no experiment knob means infinity).
+  if (errno == ERANGE || !std::isfinite(parsed)) return Parse::kOutOfRange;
+  out = parsed;
+  return Parse::kOk;
+}
+
+[[noreturn]] void throw_out_of_range(const char* what, const std::string& name,
+                                     const std::string& text) {
+  throw CheckError(std::string(what) + " " + name + ": value out of range: '" +
+                   text + "'");
+}
+
+}  // namespace
 
 std::optional<std::string> env_string(const char* name) {
   const char* v = std::getenv(name);
@@ -14,19 +58,25 @@ std::optional<std::string> env_string(const char* name) {
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const auto v = env_string(name);
   if (!v) return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(v->c_str(), &end, 10);
-  if (end == v->c_str() || *end != '\0') return fallback;
-  return parsed;
+  std::int64_t parsed = 0;
+  switch (parse_int(v->c_str(), parsed)) {
+    case Parse::kOk: return parsed;
+    case Parse::kMalformed: return fallback;
+    case Parse::kOutOfRange: throw_out_of_range("env var", name, *v);
+  }
+  return fallback;
 }
 
 double env_double(const char* name, double fallback) {
   const auto v = env_string(name);
   if (!v) return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v->c_str(), &end);
-  if (end == v->c_str() || *end != '\0') return fallback;
-  return parsed;
+  double parsed = 0.0;
+  switch (parse_double(v->c_str(), parsed)) {
+    case Parse::kOk: return parsed;
+    case Parse::kMalformed: return fallback;
+    case Parse::kOutOfRange: throw_out_of_range("env var", name, *v);
+  }
+  return fallback;
 }
 
 bool env_flag(const char* name, bool fallback) {
@@ -44,11 +94,11 @@ ArgParser::ArgParser(int argc, char** argv) {
     }
     const char* body = arg + 2;
     const char* eq = std::strchr(body, '=');
-    if (eq != nullptr) {
-      values_[std::string(body, static_cast<std::size_t>(eq - body))] = eq + 1;
-    } else {
-      values_[body] = "1";
-    }
+    std::string key = eq != nullptr
+                          ? std::string(body, static_cast<std::size_t>(eq - body))
+                          : std::string(body);
+    flags_.push_back(key);
+    values_[std::move(key)] = eq != nullptr ? eq + 1 : "1";
   }
 }
 
@@ -62,23 +112,46 @@ std::int64_t ArgParser::get_int(const std::string& key,
                                 std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0') return fallback;
-  return parsed;
+  std::int64_t parsed = 0;
+  switch (parse_int(it->second.c_str(), parsed)) {
+    case Parse::kOk: return parsed;
+    case Parse::kMalformed: return fallback;
+    case Parse::kOutOfRange: throw_out_of_range("flag", "--" + key, it->second);
+  }
+  return fallback;
 }
 
 double ArgParser::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0') return fallback;
-  return parsed;
+  double parsed = 0.0;
+  switch (parse_double(it->second.c_str(), parsed)) {
+    case Parse::kOk: return parsed;
+    case Parse::kMalformed: return fallback;
+    case Parse::kOutOfRange: throw_out_of_range("flag", "--" + key, it->second);
+  }
+  return fallback;
 }
 
 bool ArgParser::has(const std::string& key) const {
   return values_.contains(key);
+}
+
+void ArgParser::check_known(
+    std::initializer_list<std::string_view> known) const {
+  // flags_ preserves command-line order, so the flag named in the error is
+  // deterministic (iterating values_ would not be).
+  for (const std::string& flag : flags_) {
+    bool ok = false;
+    for (const std::string_view k : known) {
+      if (flag == k) {
+        ok = true;
+        break;
+      }
+    }
+    HPV_CHECK_THROW(ok, "unknown flag --" + flag +
+                            " (known flags are fixed; check for typos)");
+  }
 }
 
 }  // namespace hyparview

@@ -6,20 +6,35 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace hyparview {
 
 [[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+// Numeric readers distinguish three cases: unset/malformed input falls back
+// (the historical contract smoke scripts rely on), but *out-of-range* input —
+// strtoll/strtod saturating with errno==ERANGE, or a non-finite double —
+// throws CheckError naming the variable. Saturation used to pass the
+// `*end=='\0'` check, so HPV_THREADS=99999999999999999999 silently became
+// LLONG_MAX; a value the caller typed but we cannot represent must fail
+// loudly, not misconfigure the run.
 [[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
 [[nodiscard]] double env_double(const char* name, double fallback);
 [[nodiscard]] bool env_flag(const char* name, bool fallback = false);
 
 /// Tiny `--key=value` / `--flag` parser for examples and benches.
 /// Positional arguments are collected in order.
+///
+/// Numeric getters follow the env_* contract: absent/malformed → fallback,
+/// out-of-range → CheckError naming the flag. Call check_known() after
+/// construction so a typo (`--backnd=tcp`) aborts instead of silently
+/// running defaults.
 class ArgParser {
  public:
   ArgParser(int argc, char** argv);
@@ -34,9 +49,17 @@ class ArgParser {
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
+  /// Every `--flag` seen on the command line, in order.
+  [[nodiscard]] const std::vector<std::string>& flags() const {
+    return flags_;
+  }
+  /// Throws CheckError naming the first flag (in command-line order, so the
+  /// message is deterministic) that is not in `known`.
+  void check_known(std::initializer_list<std::string_view> known) const;
 
  private:
   std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> flags_;
   std::vector<std::string> positional_;
 };
 

@@ -154,12 +154,20 @@ std::size_t Experiment::planned_broadcasts() const {
 double PhaseResult::avg_reliability() const { return average(reliabilities); }
 
 double PhaseResult::min_reliability() const {
-  if (reliabilities.empty()) return 0.0;
+  // An empty phase used to report 0.0 — indistinguishable from a genuine
+  // total delivery failure. Asking for the minimum of nothing is a driver
+  // bug (wrong label, zero-count broadcast phase); fail loudly.
+  HPV_CHECK_THROW(!reliabilities.empty(),
+                  "min_reliability on phase '" + label +
+                      "' which recorded no broadcasts");
   return *std::min_element(reliabilities.begin(), reliabilities.end());
 }
 
 double PhaseResult::last_reliability() const {
-  return reliabilities.empty() ? 0.0 : reliabilities.back();
+  HPV_CHECK_THROW(!reliabilities.empty(),
+                  "last_reliability on phase '" + label +
+                      "' which recorded no broadcasts");
+  return reliabilities.back();
 }
 
 const PhaseResult& ExperimentResult::phase(const std::string& label) const {

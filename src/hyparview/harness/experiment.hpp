@@ -27,6 +27,13 @@
 #include "hyparview/harness/backend.hpp"
 #include "hyparview/harness/sim_backend.hpp"
 
+// The JSON layer stays a forward declaration for the same reason as the TCP
+// backend below: the codec lives in spec_json.cpp, and sim-only drivers that
+// never touch .json specs should not pull the parser in.
+namespace hyparview::json {
+class Value;
+}
+
 namespace hyparview::harness {
 
 // The TCP substrate stays a forward declaration: including it here would
@@ -106,9 +113,21 @@ class Experiment {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+  /// Driver-side parameterization of loaded specs (e.g. fig2 rewrites the
+  /// crash fraction per sweep point on one committed spec).
+  [[nodiscard]] std::vector<Phase>& mutable_phases() { return phases_; }
 
   /// Broadcasts the spec will record at most (recorder pre-sizing).
   [[nodiscard]] std::size_t planned_broadcasts() const;
+
+  /// Decodes `{"name": ..., "phases": [...]}` (the `phases` schema of
+  /// spec_json.hpp). Unknown keys, wrong types, and out-of-range values
+  /// throw CheckError naming the offending key. Implemented in
+  /// spec_json.cpp.
+  [[nodiscard]] static Experiment from_json(const json::Value& doc);
+  /// Inverse of from_json: the emitted document reloads into a spec with
+  /// identical phases (pinned by spec_json_test).
+  [[nodiscard]] json::Value to_json() const;
 
  private:
   std::string name_;
@@ -143,6 +162,8 @@ struct PhaseResult {
   std::size_t adversaries_fired = 0;
 
   [[nodiscard]] double avg_reliability() const;
+  /// min/last throw CheckError when the phase recorded no broadcasts: a
+  /// silent 0.0 is indistinguishable from a genuine total delivery failure.
   [[nodiscard]] double min_reliability() const;
   [[nodiscard]] double last_reliability() const;
 };

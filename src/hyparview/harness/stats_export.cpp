@@ -1,0 +1,190 @@
+#include "hyparview/harness/stats_export.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hyparview/analysis/broadcast_recorder.hpp"
+#include "hyparview/analysis/stats.hpp"
+#include "hyparview/common/assert.hpp"
+#include "hyparview/harness/tcp_backend.hpp"
+#include "hyparview/membership/protocol.hpp"
+#include "hyparview/net/tcp_transport.hpp"
+
+namespace hyparview::harness {
+
+namespace {
+
+/// Loopback listener, same socket idiom as the transport's Listener.
+net::Fd make_listener(int port, std::uint16_t* bound_port) {
+  net::Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  HPV_CHECK_THROW(fd.valid(), "stats endpoint: socket() failed: " +
+                                  std::string(std::strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  HPV_CHECK_THROW(
+      ::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) == 0,
+      "stats endpoint: cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+          std::string(std::strerror(errno)));
+  HPV_CHECK_THROW(::listen(fd.get(), 16) == 0,
+                  "stats endpoint: listen() failed: " +
+                      std::string(std::strerror(errno)));
+
+  socklen_t len = sizeof(addr);
+  HPV_CHECK(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+StatsExporter::StatsExporter(TcpBackend& backend, int port)
+    : backend_(backend) {
+  HPV_CHECK_THROW(port >= 0 && port <= 65535,
+                  "stats_port " + std::to_string(port) +
+                      " out of range (expected 0..65535)");
+  net::Fd fd = make_listener(port, &port_);
+  backend_.loop().register_fd(fd.get(), this, /*want_read=*/true,
+                              /*want_write=*/false);
+  listen_fd_ = std::move(fd);
+}
+
+StatsExporter::~StatsExporter() {
+  if (listen_fd_.valid()) backend_.loop().unregister_fd(listen_fd_.get());
+}
+
+json::Value StatsExporter::snapshot() {
+  const TimePoint now = backend_.loop().now();
+
+  json::Value doc = json::Value::object();
+  doc.set("backend", backend_.backend_name());
+  doc.set("time_us", now);
+  doc.set("nodes", backend_.node_count());
+  doc.set("alive", backend_.alive_count());
+
+  // Per-node rows plus aggregate transport totals in one pass.
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t malformed = 0;
+  json::Value per_node = json::Value::array();
+  for (std::size_t i = 0; i < backend_.node_count(); ++i) {
+    const net::TransportStats& st = backend_.transport(i).stats();
+    frames_sent += st.frames_sent;
+    frames_received += st.frames_received;
+    bytes_sent += st.bytes_sent;
+    bytes_received += st.bytes_received;
+    malformed += st.malformed_frames;
+
+    json::Value row = json::Value::object();
+    row.set("index", i);
+    row.set("id", backend_.id_of(i).to_string());
+    row.set("alive", backend_.alive(i));
+    row.set("active_view", backend_.protocol(i).dissemination_view().size());
+    row.set("passive_view", backend_.protocol(i).backup_view().size());
+    row.set("frames_sent", st.frames_sent);
+    row.set("frames_received", st.frames_received);
+    row.set("bytes_sent", st.bytes_sent);
+    row.set("bytes_received", st.bytes_received);
+    per_node.push_back(std::move(row));
+  }
+
+  // Rates from monotonic deltas against the previous poll (0 on the first
+  // poll — there is no interval to rate over yet).
+  const std::uint64_t total_frames = frames_sent + frames_received;
+  const std::uint64_t total_bytes = bytes_sent + bytes_received;
+  double frames_per_second = 0.0;
+  double bytes_per_second = 0.0;
+  if (last_poll_ >= 0 && now > last_poll_) {
+    const double dt =
+        static_cast<double>(now - last_poll_) / 1'000'000.0;
+    frames_per_second =
+        static_cast<double>(total_frames - last_frames_) / dt;
+    bytes_per_second = static_cast<double>(total_bytes - last_bytes_) / dt;
+  }
+  last_poll_ = now;
+  last_frames_ = total_frames;
+  last_bytes_ = total_bytes;
+
+  json::Value transport = json::Value::object();
+  transport.set("frames_sent", frames_sent);
+  transport.set("frames_received", frames_received);
+  transport.set("bytes_sent", bytes_sent);
+  transport.set("bytes_received", bytes_received);
+  transport.set("malformed_frames", malformed);
+  transport.set("frames_per_second", frames_per_second);
+  transport.set("bytes_per_second", bytes_per_second);
+  doc.set("transport", std::move(transport));
+
+  // Broadcast completion: reliability percentiles over every recorded
+  // message so far (count 0 → all-zero percentiles).
+  std::vector<double> reliabilities;
+  for (const analysis::MessageResult& r : backend_.recorder().results()) {
+    reliabilities.push_back(r.reliability());
+  }
+  json::Value broadcasts = json::Value::object();
+  broadcasts.set("count", reliabilities.size());
+  if (reliabilities.empty()) {
+    broadcasts.set("reliability_mean", 0.0);
+    broadcasts.set("reliability_p50", 0.0);
+    broadcasts.set("reliability_p90", 0.0);
+    broadcasts.set("reliability_p99", 0.0);
+  } else {
+    broadcasts.set("reliability_mean",
+                   analysis::summarize(std::span<const double>(
+                                           reliabilities))
+                       .mean);
+    broadcasts.set("reliability_p50",
+                   analysis::percentile(reliabilities, 50.0));
+    broadcasts.set("reliability_p90",
+                   analysis::percentile(reliabilities, 90.0));
+    broadcasts.set("reliability_p99",
+                   analysis::percentile(reliabilities, 99.0));
+  }
+  doc.set("broadcasts", std::move(broadcasts));
+
+  doc.set("per_node", std::move(per_node));
+  return doc;
+}
+
+void StatsExporter::on_readable() {
+  for (;;) {
+    // Accepted sockets stay blocking on purpose: the snapshot is small, the
+    // peer is a local poller, and a blocking write keeps the one-shot
+    // protocol free of write-readiness bookkeeping.
+    int raw = ::accept4(listen_fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained; anything else: nothing to serve
+    }
+    net::Fd conn(raw);
+    const std::string body = snapshot().dump(2);
+    std::size_t off = 0;
+    while (off < body.size()) {
+      const ssize_t n = ::send(conn.get(), body.data() + off,
+                               body.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // poller went away mid-read — drop the rest
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    // RAII close sends FIN: the poller reads to EOF and has its snapshot.
+  }
+}
+
+}  // namespace hyparview::harness

@@ -1,0 +1,64 @@
+// Live stats endpoint for TcpBackend runs.
+//
+// A loopback TCP listener registered on the backend's own EventLoop: every
+// accepted connection receives one JSON snapshot of the cluster (per-node
+// active/passive view sizes, transport frame/byte counters and rates,
+// broadcast reliability percentiles) and is then closed. One-shot polling
+// keeps the protocol trivial — `nc 127.0.0.1 <port>` or a curl-less script
+// can watch a live run without any framing.
+//
+// Threading: accept, snapshot and write all happen on the loop thread (the
+// poller only ever observes bytes on its own socket), so the exporter adds
+// no shared state and the backend stays TSan-clean by construction. Rates
+// are derived from monotonic counter deltas between polls using the loop's
+// clock — no wall-clock reads.
+#pragma once
+
+#include <cstdint>
+
+#include "hyparview/common/json.hpp"
+#include "hyparview/common/time.hpp"
+#include "hyparview/net/event_loop.hpp"
+#include "hyparview/net/fd.hpp"
+
+namespace hyparview::harness {
+
+class TcpBackend;
+
+class StatsExporter final : public net::IoHandler {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back via
+  /// port()) and registers with the backend's loop. Throws CheckError when
+  /// the bind fails (a fixed port being taken must fail the run loudly).
+  StatsExporter(TcpBackend& backend, int port);
+  ~StatsExporter() override;
+
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  /// The bound listening port.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Builds the snapshot document served to pollers (public so hpv_run can
+  /// dump a final snapshot without opening a socket). Updates the rate
+  /// baseline, so back-to-back calls report rates over the gap between
+  /// them.
+  [[nodiscard]] json::Value snapshot();
+
+  // --- net::IoHandler ---------------------------------------------------------
+  void on_readable() override;
+  void on_writable() override {}
+
+ private:
+  TcpBackend& backend_;
+  net::Fd listen_fd_;
+  std::uint16_t port_ = 0;
+
+  /// Rate baseline: loop time and aggregate counters at the last snapshot
+  /// (-1 = no poll yet, rates report 0).
+  TimePoint last_poll_ = -1;
+  std::uint64_t last_frames_ = 0;
+  std::uint64_t last_bytes_ = 0;
+};
+
+}  // namespace hyparview::harness

@@ -5,6 +5,7 @@
 
 #include "hyparview/common/assert.hpp"
 #include "hyparview/harness/sim_backend.hpp"
+#include "hyparview/harness/stats_export.hpp"
 
 namespace hyparview::harness {
 
@@ -113,6 +114,10 @@ std::size_t TcpBackend::spawn_node() {
 void TcpBackend::build() {
   HPV_CHECK(!built_);
   built_ = true;
+  // Stats endpoint first, so a poller can watch the bootstrap itself.
+  if (config_.stats_port >= 0) {
+    stats_ = std::make_unique<StatsExporter>(*this, config_.stats_port);
+  }
   nodes_.reserve(config_.node_count);
   for (std::size_t i = 0; i < config_.node_count; ++i) spawn_node();
   // Serial bootstrap (§5): each join's dial/walk traffic settles before
@@ -259,6 +264,11 @@ const membership::Protocol& TcpBackend::protocol(std::size_t i) const {
 gossip::NodeRuntime& TcpBackend::runtime(std::size_t i) {
   HPV_CHECK(i < nodes_.size());
   return *nodes_[i].runtime;
+}
+
+net::TcpTransport& TcpBackend::transport(std::size_t i) {
+  HPV_CHECK(i < nodes_.size());
+  return *nodes_[i].transport;
 }
 
 }  // namespace hyparview::harness

@@ -37,6 +37,8 @@
 
 namespace hyparview::harness {
 
+class StatsExporter;  // stats_export.hpp
+
 struct TcpBackendConfig {
   ProtocolKind kind = ProtocolKind::kHyParView;
   std::size_t node_count = 8;
@@ -70,6 +72,12 @@ struct TcpBackendConfig {
   /// measurement into minutes. Loopback traffic settles in a few ms, so
   /// the window is generous.
   Duration broadcast_quiet_window = milliseconds(150);
+
+  /// Live stats endpoint (harness/stats_export.hpp): -1 disables it, 0
+  /// binds an ephemeral loopback port (StatsExporter::port() reports it),
+  /// any other value binds that fixed port. Each accepted connection gets
+  /// one JSON snapshot and is closed — poll it while the run is live.
+  int stats_port = -1;
 
   /// Same §5.1 protocol parameters as NetworkConfig::defaults_for, minus
   /// the simulator knobs.
@@ -148,6 +156,11 @@ class TcpBackend final : public Backend {
   }
   [[nodiscard]] net::EventLoop& loop() { return loop_; }
   [[nodiscard]] const TcpBackendConfig& config() const { return config_; }
+  /// The live stats endpoint, or nullptr when config().stats_port == -1.
+  /// Created on build() so it can snapshot the node table.
+  [[nodiscard]] StatsExporter* stats_exporter() { return stats_.get(); }
+  /// Per-node transport access (stats export, tests).
+  [[nodiscard]] net::TcpTransport& transport(std::size_t i);
 
  private:
   /// Forwards deliveries to the shared recorder while counting frames for
@@ -184,6 +197,7 @@ class TcpBackend final : public Backend {
 
   TcpBackendConfig config_;
   net::EventLoop loop_;
+  std::unique_ptr<StatsExporter> stats_;  ///< null unless stats_port >= 0
   Rng master_rng_;
   std::unique_ptr<Adversary> adversary_;  ///< null for honest clusters
   CountingObserver observer_;

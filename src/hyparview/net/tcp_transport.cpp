@@ -176,6 +176,7 @@ class TcpTransport::Connection final : public IoHandler {
       transport_->report_send_failed(peer_, msg);
       return;
     }
+    ++transport_->stats_.frames_sent;
     pending_.push_back(Pending{frame_message(msg), 0, msg});
     if (state_ == State::kEstablished) flush();
   }
@@ -249,6 +250,7 @@ class TcpTransport::Connection final : public IoHandler {
       std::uint8_t buf[16 * 1024];
       const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
       if (n > 0) {
+        transport_->stats_.bytes_received += static_cast<std::uint64_t>(n);
         if (draining_) continue;  // half-closed: discard until peer EOF
         read_buf_.insert(read_buf_.end(), buf, buf + n);
         if (!parse_frames()) return;  // fatal decode error closed us
@@ -307,6 +309,7 @@ class TcpTransport::Connection final : public IoHandler {
   }
 
   void send_hello(bool prepend = false) {
+    ++transport_->stats_.frames_sent;
     Pending hello{frame_message(wire::Hello{transport_->local_id()}), 0,
                   wire::Hello{transport_->local_id()}};
     if (prepend) {
@@ -336,6 +339,7 @@ class TcpTransport::Connection final : public IoHandler {
         close_now(/*notify=*/true, /*error=*/true);
         return;
       }
+      transport_->stats_.bytes_sent += static_cast<std::uint64_t>(n);
       p.offset += static_cast<std::size_t>(n);
       if (p.offset == p.bytes.size()) pending_.pop_front();
     }
@@ -382,6 +386,7 @@ class TcpTransport::Connection final : public IoHandler {
         const wire::Message msg = wire::decode_bytes(
             {base + kLenPrefixBytes, static_cast<std::size_t>(len)});
         consumed += kLenPrefixBytes + len;
+        ++transport_->stats_.frames_received;
         handle_frame(msg);
         if (state_ == State::kClosed) return false;
       } catch (const CheckError& err) {

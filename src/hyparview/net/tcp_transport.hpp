@@ -52,6 +52,13 @@ struct TransportStats {
   std::uint64_t oversized_frames = 0;
   /// Non-HELLO frames on a connection that never identified itself.
   std::uint64_t frames_before_hello = 0;
+
+  // Volume counters (monotonic; the stats exporter derives rates from
+  // deltas between polls).
+  std::uint64_t frames_sent = 0;      ///< frames queued for the wire
+  std::uint64_t frames_received = 0;  ///< frames decoded and dispatched
+  std::uint64_t bytes_sent = 0;       ///< payload handed to ::write
+  std::uint64_t bytes_received = 0;   ///< payload returned by ::read
 };
 
 class TcpTransport final : public membership::Env {

@@ -1,0 +1,207 @@
+#include "hyparview/common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "hyparview/common/assert.hpp"
+#include "hyparview/common/rng.hpp"
+
+namespace hyparview::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("false").as_bool(), false);
+  EXPECT_EQ(Value::parse("42").as_int(), 42);
+  EXPECT_EQ(Value::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Value::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::parse("-1e3").as_double(), -1000.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntAndDoubleAreDistinctKinds) {
+  EXPECT_TRUE(Value::parse("42").is_int());
+  EXPECT_FALSE(Value::parse("42").is_double());
+  EXPECT_TRUE(Value::parse("42.0").is_double());
+  EXPECT_FALSE(Value::parse("42.0").is_int());
+  // Ints convert through as_double, never the reverse.
+  EXPECT_DOUBLE_EQ(Value::parse("42").as_double(), 42.0);
+  EXPECT_THROW((void)Value::parse("42.0").as_int(), CheckError);
+}
+
+TEST(JsonParse, ObjectKeepsInsertionOrder) {
+  const Value v = Value::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->as_int(), 2);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value v = Value::parse(
+      R"({"name": "fig1", "phases": [{"kind": "stabilize", "cycles": 50},
+          {"kind": "broadcast", "count": 100}], "ok": true})");
+  ASSERT_EQ(v.find("phases")->as_array().size(), 2u);
+  EXPECT_EQ(v.find("phases")->as_array()[0].find("kind")->as_string(),
+            "stabilize");
+  EXPECT_EQ(v.find("phases")->as_array()[1].find("count")->as_int(), 100);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Value::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Value::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Value::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)Value::parse(""), CheckError);
+  EXPECT_THROW((void)Value::parse("{"), CheckError);
+  EXPECT_THROW((void)Value::parse("[1,]"), CheckError);
+  EXPECT_THROW((void)Value::parse("{\"a\":1,}"), CheckError);
+  EXPECT_THROW((void)Value::parse("{\"a\" 1}"), CheckError);
+  EXPECT_THROW((void)Value::parse("tru"), CheckError);
+  EXPECT_THROW((void)Value::parse("\"unterminated"), CheckError);
+  EXPECT_THROW((void)Value::parse("1 2"), CheckError);
+  EXPECT_THROW((void)Value::parse("-"), CheckError);
+  EXPECT_THROW((void)Value::parse("\"\\x\""), CheckError);
+  EXPECT_THROW((void)Value::parse("\"\\ud83d\""), CheckError);  // lone high
+  EXPECT_THROW((void)Value::parse("\"\\ude00\""), CheckError);  // lone low
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW((void)Value::parse(R"({"a": 1, "a": 2})"), CheckError);
+}
+
+TEST(JsonParse, RejectsIntegerOverflow) {
+  // strtoll-style saturation must not leak through the codec: 2^63 is out of
+  // int64 range and must be a parse error, not LLONG_MAX.
+  EXPECT_THROW((void)Value::parse("9223372036854775808"), CheckError);
+  EXPECT_THROW((void)Value::parse("99999999999999999999"), CheckError);
+  EXPECT_EQ(Value::parse("9223372036854775807").as_int(),
+            INT64_C(9223372036854775807));
+}
+
+TEST(JsonParse, ErrorsCarryLineNumbers) {
+  try {
+    (void)Value::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)Value::parse(deep), CheckError);
+}
+
+TEST(JsonDump, CompactAndStable) {
+  Value tags = Value::array();
+  tags.push_back(Value("a"));
+  Value v = Value::object();
+  v.set("name", "spec").set("nodes", 300).set("rate", 0.5);
+  v.set("tags", std::move(tags));
+  EXPECT_EQ(v.dump(), R"({"name":"spec","nodes":300,"rate":0.5,"tags":["a"]})");
+}
+
+TEST(JsonDump, DoubleKindSurvivesRoundTrip) {
+  // An integral-valued double serializes with a trailing ".0" so it
+  // re-parses as a double, not an int.
+  EXPECT_EQ(Value(2.0).dump(), "2.0");
+  EXPECT_EQ(Value(std::int64_t{2}).dump(), "2");
+  EXPECT_TRUE(Value::parse(Value(2.0).dump()).is_double());
+  EXPECT_TRUE(Value::parse(Value(std::int64_t{2}).dump()).is_int());
+}
+
+TEST(JsonDump, RejectsNonFinite) {
+  EXPECT_THROW((void)Value(std::numeric_limits<double>::infinity()).dump(),
+               CheckError);
+  EXPECT_THROW((void)Value(std::numeric_limits<double>::quiet_NaN()).dump(),
+               CheckError);
+}
+
+TEST(JsonDump, PrettyPrint) {
+  Value v = Value::object();
+  v.set("a", 1);
+  Value arr = Value::array();
+  arr.push_back(Value(2));
+  v.set("b", std::move(arr));
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  EXPECT_EQ(Value(std::string("a\x01" "b\nc\"d")).dump(),
+            R"("a\u0001b\nc\"d")");
+}
+
+// Random value trees survive dump → parse with exact equality (kinds
+// included). Seeded Rng, so a failure reproduces.
+Value random_value(Rng& rng, int depth) {
+  const std::uint64_t pick = rng.below(depth >= 4 ? 5 : 7);
+  switch (pick) {
+    case 0: return Value(nullptr);
+    case 1: return Value(rng.below(2) == 0);
+    case 2:
+      return Value(static_cast<std::int64_t>(rng.next()));
+    case 3: {
+      // Mix magnitudes; keep finite.
+      const double mant =
+          static_cast<double>(static_cast<std::int64_t>(rng.next())) / 997.0;
+      return Value(mant);
+    }
+    case 4: {
+      std::string s;
+      const std::uint64_t len = rng.below(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.below(0x5F) + 0x20));
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      Value arr = Value::array();
+      const std::uint64_t len = rng.below(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        arr.push_back(random_value(rng, depth + 1));
+      }
+      return arr;
+    }
+    default: {
+      Value obj = Value::object();
+      const std::uint64_t len = rng.below(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        obj.set("k" + std::to_string(i), random_value(rng, depth + 1));
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(JsonProperty, RoundTripPreservesValueAndKind) {
+  Rng rng(0xC0FFEE);
+  for (int i = 0; i < 500; ++i) {
+    const Value original = random_value(rng, 0);
+    const std::string text = original.dump();
+    const Value reparsed = Value::parse(text);
+    ASSERT_EQ(reparsed, original) << "iteration " << i << ": " << text;
+    // Serialization is a pure function of the value: dump(parse(dump(v)))
+    // is byte-identical.
+    ASSERT_EQ(reparsed.dump(), text) << "iteration " << i;
+    // Pretty output re-parses to the same value too.
+    ASSERT_EQ(Value::parse(original.dump(2)), original) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hyparview::json

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+
+#include "hyparview/common/assert.hpp"
 
 namespace hyparview {
 namespace {
@@ -32,6 +35,46 @@ TEST(EnvTest, MalformedIntFallsBack) {
   ::setenv("HPV_TEST_BAD", "12abc", 1);
   EXPECT_EQ(env_int("HPV_TEST_BAD", 5), 5);
   ::unsetenv("HPV_TEST_BAD");
+}
+
+// Out-of-range values used to slip through as LLONG_MAX / ±HUGE_VAL:
+// strtoll/strtod saturate with errno==ERANGE but still satisfy the
+// `*end=='\0'` shape check. They must fail loudly, not misconfigure a run.
+TEST(EnvTest, IntOverflowFailsLoudly) {
+  ::setenv("HPV_THREADS", "99999999999999999999", 1);
+  EXPECT_THROW((void)env_int("HPV_THREADS", 4), CheckError);
+  ::setenv("HPV_THREADS", "-99999999999999999999", 1);
+  EXPECT_THROW((void)env_int("HPV_THREADS", 4), CheckError);
+  ::unsetenv("HPV_THREADS");
+}
+
+TEST(EnvTest, DoubleOverflowUnderflowAndInfFailLoudly) {
+  ::setenv("HPV_TEST_D", "1e999", 1);
+  EXPECT_THROW((void)env_double("HPV_TEST_D", 1.0), CheckError);
+  ::setenv("HPV_TEST_D", "-1e999", 1);
+  EXPECT_THROW((void)env_double("HPV_TEST_D", 1.0), CheckError);
+  // Denormal underflow also sets ERANGE: the parsed value is not the one
+  // that was written, so it is rejected the same way.
+  ::setenv("HPV_TEST_D", "1e-999", 1);
+  EXPECT_THROW((void)env_double("HPV_TEST_D", 1.0), CheckError);
+  // "inf"/"nan" parse cleanly (errno==0) — rejected by the finiteness check.
+  ::setenv("HPV_TEST_D", "inf", 1);
+  EXPECT_THROW((void)env_double("HPV_TEST_D", 1.0), CheckError);
+  ::setenv("HPV_TEST_D", "nan", 1);
+  EXPECT_THROW((void)env_double("HPV_TEST_D", 1.0), CheckError);
+  ::unsetenv("HPV_TEST_D");
+}
+
+TEST(EnvTest, ErrorNamesTheVariable) {
+  ::setenv("HPV_TEST_HUGE", "99999999999999999999", 1);
+  try {
+    (void)env_int("HPV_TEST_HUGE", 4);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("HPV_TEST_HUGE"), std::string::npos)
+        << e.what();
+  }
+  ::unsetenv("HPV_TEST_HUGE");
 }
 
 TEST(EnvTest, FlagAcceptsSynonyms) {
@@ -78,6 +121,46 @@ TEST(ArgParserTest, FlagWithoutValueIsOne) {
   const char* argv[] = {"prog", "--quick"};
   ArgParser args(2, const_cast<char**>(argv));
   EXPECT_EQ(args.get("quick", ""), "1");
+}
+
+TEST(ArgParserTest, NumericOverflowFailsLoudly) {
+  const char* argv[] = {"prog", "--n=99999999999999999999", "--x=1e999"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)args.get_int("n", 3), CheckError);
+  EXPECT_THROW((void)args.get_double("x", 0.5), CheckError);
+}
+
+TEST(ArgParserTest, CheckKnownAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--nodes=500", "--verbose", "input.txt"};
+  ArgParser args(4, const_cast<char**>(argv));
+  EXPECT_NO_THROW(args.check_known({"nodes", "verbose", "seed"}));
+}
+
+// The regression the satellite names: a typo like --backnd=tcp used to be
+// silently dropped, running the sim default instead of TCP.
+TEST(ArgParserTest, CheckKnownRejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--backnd=tcp"};
+  ArgParser args(2, const_cast<char**>(argv));
+  try {
+    args.check_known({"backend", "nodes"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("--backnd"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArgParserTest, CheckKnownReportsFirstUnknownInArgvOrder) {
+  const char* argv[] = {"prog", "--zz=1", "--aa=2"};
+  ArgParser args(3, const_cast<char**>(argv));
+  try {
+    args.check_known({});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    // Deterministic: command-line order, not hash order.
+    EXPECT_NE(std::string(e.what()).find("--zz"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

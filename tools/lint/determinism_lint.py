@@ -420,6 +420,7 @@ def check_file(root: Path, rel: str, cfg: dict) -> list[Finding]:
 def walk_tree(root: Path, cfg: dict) -> list[Finding]:
     findings: list[Finding] = []
     seen: set[str] = set()
+    excluded = [e.rstrip("/") + "/" for e in cfg.get("exclude_dirs", [])]
     for top in cfg["roots"]:
         base = root / top
         if not base.is_dir():
@@ -428,7 +429,7 @@ def walk_tree(root: Path, cfg: dict) -> list[Finding]:
             if p.suffix not in {".cpp", ".hpp", ".h", ".cc", ".hh"}:
                 continue
             rel = p.relative_to(root).as_posix()
-            if rel in seen:
+            if rel in seen or any(rel.startswith(e) for e in excluded):
                 continue
             seen.add(rel)
             findings.extend(check_file(root, rel, cfg))
@@ -560,6 +561,7 @@ def main() -> int:
         "roots": scope.get("roots", ["src/hyparview"]),
         "nondeterministic_dirs": scope.get("nondeterministic_dirs", []),
         "hot_path_dirs": scope.get("hot_path_dirs", []),
+        "exclude_dirs": scope.get("exclude_dirs", []),
         "zero_alloc": cfg_raw.get("zero_alloc", []),
     }
     for i, entry in enumerate(cfg["zero_alloc"]):
