@@ -57,9 +57,13 @@ RENAMED_BENCHES = {}
 # The adversarial driver's overlay-health fields (eclipse_*,
 # honest_component_*, reliability_*) are deterministic measurements, not
 # throughputs — drift there is a behavior change to investigate, not a perf
-# regression to gate on.
+# regression to gate on. Same for the pub/sub driver's traffic fields
+# (bytes_on_wire_*, latency_to_last_*): the hard gate for those lives in
+# the driver itself (Plumtree-vs-eager reduction check) and in the exact
+# *_events comparison below.
 INFO_FIELD_PREFIXES = ("phase_seconds_", "speedup_", "eclipse_",
-                       "honest_component_", "reliability_")
+                       "honest_component_", "reliability_",
+                       "bytes_on_wire_", "latency_to_last_")
 PHASE_FIELD_PREFIX = "phase_seconds_"
 
 # Per-structure throughput fields (e.g. the calendar_queue driver's

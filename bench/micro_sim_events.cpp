@@ -1,6 +1,6 @@
 // Microbenchmark + invariant check for the simulator event pipeline.
 //
-// Five claims are verified, not just measured:
+// Six claims are verified, not just measured:
 //  1. steady-state message delivery (the dissemination hot path: send →
 //     queue → deliver → re-send) performs ZERO heap allocations per event —
 //     the slim-POD event queue and the free-list payload pools recycle
@@ -17,7 +17,11 @@
 //     every relay);
 //  5. full HyParView membership rounds (shuffle walks, replies, passive
 //     integration, promotion episodes) run allocation-free end to end once
-//     the protocol scratch buffers and slabs are warm.
+//     the protocol scratch buffers and slabs are warm;
+//  6. the Plumtree payload plane (TreeGossip push, IHave digests, graft
+//     timers, prune decisions, link scores, payload cache) is likewise
+//     allocation-free once the dedup/cache rings are saturated and the
+//     eager tree has converged.
 //
 // The binary exits non-zero if any steady-state phase allocates, so it
 // doubles as a CI regression gate (wired into CTest under the smoke label).
@@ -304,12 +308,51 @@ int run() {
               static_cast<double>(mem_events) / mem_seconds,
               static_cast<unsigned long long>(mem_allocs));
 
+  // --- Phase 6: Plumtree payload plane ---------------------------------------
+  // The tree-broadcast engine on a real overlay: every wave exercises the
+  // eager/lazy split (TreeGossip + IHave), the per-link score windows, the
+  // payload cache, and — through IHave-before-eager races — the
+  // missing-entry table and graft-timer chain. Dedup and cache rings are
+  // sized below the warm-up budget so evictions are active, and warm-up
+  // also converges the eager subgraph to the spanning tree; from then on
+  // the whole payload plane must be allocation-free.
+  auto treecfg = harness::NetworkConfig::defaults_for(
+      harness::ProtocolKind::kHyParView, 64, scale.seed);
+  treecfg.gossip.engine = gossip::Engine::kPlumtree;
+  treecfg.gossip.dedup_window = 256;  // < warm-up: evictions in steady state
+  treecfg.gossip.cache_window = 256;
+  harness::Network treenet(treecfg);
+  treenet.build();
+  treenet.run_cycles(10);
+  const std::size_t tree_messages = scale.quick ? 1'000 : 5'000;
+  treenet.recorder().reserve(bcast_warmup + tree_messages);
+  for (std::size_t m = 0; m < bcast_warmup; ++m) treenet.broadcast_one();
+
+  const std::uint64_t tree_events_before = treenet.simulator().events_processed();
+  const std::uint64_t tree_allocs_before = g_allocs.load();
+  bench::Stopwatch tree_watch;
+  double tree_reliability = 0.0;
+  for (std::size_t m = 0; m < tree_messages; ++m) {
+    tree_reliability += treenet.broadcast_one().reliability();
+  }
+  const double tree_seconds = tree_watch.seconds();
+  const std::uint64_t tree_allocs = g_allocs.load() - tree_allocs_before;
+  const std::uint64_t tree_events =
+      treenet.simulator().events_processed() - tree_events_before;
+  tree_reliability /= static_cast<double>(tree_messages);
+
+  std::printf("plumtree path: %llu events in %.3fs (%.0f events/sec), "
+              "%llu heap allocations, reliability %.4f\n",
+              static_cast<unsigned long long>(tree_events), tree_seconds,
+              static_cast<double>(tree_events) / tree_seconds,
+              static_cast<unsigned long long>(tree_allocs), tree_reliability);
+
   bench::write_bench_json(
       "micro_sim_events", scale,
       deliver_seconds + timer_seconds + bcast_seconds + shuffle_seconds +
-          mem_seconds,
+          mem_seconds + tree_seconds,
       deliver_events + timer_events + bcast_events + shuffle_events +
-          mem_events,
+          mem_events + tree_events,
       {{"deliver_events_per_second",
         static_cast<double>(deliver_events) / deliver_seconds},
        {"timer_events_per_second",
@@ -320,26 +363,31 @@ int run() {
         static_cast<double>(shuffle_events) / shuffle_seconds},
        {"membership_events_per_second",
         static_cast<double>(mem_events) / mem_seconds},
+       {"plumtree_events_per_second",
+        static_cast<double>(tree_events) / tree_seconds},
        {"deliver_allocs", static_cast<double>(deliver_allocs)},
        {"timer_allocs", static_cast<double>(timer_allocs)},
        {"broadcast_allocs", static_cast<double>(bcast_allocs)},
        {"shuffle_allocs", static_cast<double>(shuffle_allocs)},
-       {"membership_allocs", static_cast<double>(mem_allocs)}});
+       {"membership_allocs", static_cast<double>(mem_allocs)},
+       {"plumtree_allocs", static_cast<double>(tree_allocs)}});
 
   if (deliver_allocs != 0 || timer_allocs != 0 || bcast_allocs != 0 ||
-      shuffle_allocs != 0 || mem_allocs != 0) {
+      shuffle_allocs != 0 || mem_allocs != 0 || tree_allocs != 0) {
     std::printf("FAIL: steady-state event processing allocated "
                 "(deliver=%llu, timer=%llu, broadcast=%llu, shuffle=%llu, "
-                "membership=%llu); the zero-allocation invariant of the "
-                "slim-event/slot-pool/flat-wire design regressed.\n",
+                "membership=%llu, plumtree=%llu); the zero-allocation "
+                "invariant of the slim-event/slot-pool/flat-wire design "
+                "regressed.\n",
                 static_cast<unsigned long long>(deliver_allocs),
                 static_cast<unsigned long long>(timer_allocs),
                 static_cast<unsigned long long>(bcast_allocs),
                 static_cast<unsigned long long>(shuffle_allocs),
-                static_cast<unsigned long long>(mem_allocs));
+                static_cast<unsigned long long>(mem_allocs),
+                static_cast<unsigned long long>(tree_allocs));
     return 1;
   }
-  std::printf("OK: zero heap allocations on all five steady-state paths.\n");
+  std::printf("OK: zero heap allocations on all six steady-state paths.\n");
   return 0;
 }
 

@@ -18,6 +18,10 @@ void BroadcastRecorder::begin_message(std::uint64_t msg_id,
   MessageResult r;
   r.msg_id = msg_id;
   r.alive_nodes = alive_nodes;
+  if (now_) {
+    r.begin_time = now_();
+    r.last_delivery = r.begin_time;
+  }
   results_.push_back(r);
 }
 
@@ -29,6 +33,7 @@ void BroadcastRecorder::on_deliver(const NodeId& /*node*/,
   ++r.delivered;
   r.hop_sum += hops;
   r.max_hops = std::max(r.max_hops, hops);
+  if (now_) r.last_delivery = std::max(r.last_delivery, now_());
 }
 
 void BroadcastRecorder::on_duplicate(const NodeId& /*node*/,

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "hyparview/common/flat_hash.hpp"
+#include "hyparview/common/function.hpp"
+#include "hyparview/common/time.hpp"
 #include "hyparview/gossip/gossip_engine.hpp"
 
 namespace hyparview::analysis {
@@ -21,6 +23,10 @@ struct MessageResult {
   std::uint16_t max_hops = 0;     ///< last-delivery distance from the source
   std::uint64_t hop_sum = 0;      ///< for average-hops metrics
   std::uint64_t duplicates = 0;
+  /// Timestamps from the recorder's injected time source (simulated time on
+  /// the sim backend, event-loop time on TCP; 0 when no source is set).
+  TimePoint begin_time = 0;       ///< when begin_message registered the id
+  TimePoint last_delivery = 0;    ///< time of the latest first-delivery
 
   /// Gossip reliability (§2.5): delivered / alive.
   [[nodiscard]] double reliability() const {
@@ -28,6 +34,11 @@ struct MessageResult {
                ? 0.0
                : static_cast<double>(delivered) /
                      static_cast<double>(alive_nodes);
+  }
+
+  /// Publish-to-last-delivery latency (the pub/sub latency metric).
+  [[nodiscard]] Duration latency_to_last() const {
+    return last_delivery - begin_time;
   }
 };
 
@@ -38,6 +49,13 @@ class BroadcastRecorder final : public gossip::DeliveryObserver {
   /// until the reservation is exceeded. Benches reserve their full message
   /// budget up front so the accounting never rehashes mid-measurement.
   void reserve(std::size_t messages);
+
+  /// Installs the clock used to stamp begin/delivery times (sim.now() on
+  /// the simulator, loop.now() on TCP). Without one, timestamps stay 0 and
+  /// latency metrics read as 0 — reliability accounting is unaffected.
+  void set_time_source(InplaceFunction<TimePoint()> now) {
+    now_ = std::move(now);
+  }
 
   /// Starts accounting for msg_id; `alive_nodes` is the reliability
   /// denominator (correct processes at send time).
@@ -69,6 +87,7 @@ class BroadcastRecorder final : public gossip::DeliveryObserver {
   /// with reserve() the whole recording phase is rehash-free.
   FlatMap<std::uint64_t, std::uint32_t> index_;
   std::vector<MessageResult> results_;
+  InplaceFunction<TimePoint()> now_;
 };
 
 }  // namespace hyparview::analysis

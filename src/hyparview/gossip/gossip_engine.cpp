@@ -29,7 +29,9 @@ void GossipEngine::handle_gossip(const NodeId& from, const wire::Gossip& msg) {
       from != kNoNode) {
     // Every received copy is acknowledged (the sender's missing-ack timeout
     // is what the transport's failure reporting stands in for).
-    env_.send(from, wire::GossipAck{msg.msg_id});
+    const wire::GossipAck ack{msg.msg_id};
+    control_bytes_ += wire_cost(wire::Message{ack});
+    env_.send(from, ack);
   }
   if (!remember(msg.msg_id)) {
     ++duplicates_;
@@ -51,8 +53,10 @@ void GossipEngine::forward(const wire::Gossip& msg, const NodeId& exclude) {
   protocol_.broadcast_targets(fanout, exclude, targets_scratch_);
   wire::Gossip next = msg;
   next.hops = static_cast<std::uint16_t>(msg.hops + 1);
+  const std::size_t cost = wire::wire_cost(next);
   for (const NodeId& t : targets_scratch_) {
     ++forwarded_;
+    payload_bytes_ += cost;
     env_.send(t, next);
   }
 }
@@ -85,9 +89,35 @@ void GossipEngine::on_send_failed(const NodeId& to, const wire::Gossip& msg) {
               : reroute_scratch_[static_cast<std::size_t>(
                     env_.rng().below(reroute_scratch_.size()))];
       ++forwarded_;
+      payload_bytes_ += wire::wire_cost(msg);
       env_.send(subst, msg);
     }
   }
+}
+
+bool GossipEngine::handle(const NodeId& from, const wire::Message& msg) {
+  if (const auto* g = std::get_if<wire::Gossip>(&msg)) {
+    handle_gossip(from, *g);
+    return true;
+  }
+  if (std::holds_alternative<wire::GossipAck>(msg)) {
+    // Ack handling is implicit (transport failure reporting); consume.
+    return true;
+  }
+  return false;
+}
+
+bool GossipEngine::handle_send_failed(const NodeId& to,
+                                      const wire::Message& msg) {
+  if (const auto* g = std::get_if<wire::Gossip>(&msg)) {
+    on_send_failed(to, *g);
+    return true;
+  }
+  if (std::holds_alternative<wire::GossipAck>(msg)) {
+    // Lost ack to a dead node: nothing to do.
+    return true;
+  }
+  return false;
 }
 
 bool GossipEngine::remember(std::uint64_t msg_id) {

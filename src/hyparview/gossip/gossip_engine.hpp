@@ -18,67 +18,20 @@
 #include <cstdint>
 
 #include "hyparview/common/node_id.hpp"
+#include "hyparview/gossip/broadcast_engine.hpp"
 #include "hyparview/gossip/dedup_window.hpp"
 #include "hyparview/membership/env.hpp"
 #include "hyparview/membership/protocol.hpp"
 
 namespace hyparview::gossip {
 
-enum class Mode : std::uint8_t {
-  kFlood,
-  kRandomFanout,
-  kRandomFanoutAcked,
-};
-
-struct GossipConfig {
-  Mode mode = Mode::kFlood;
-  /// Gossip fanout t (ignored by kFlood, whose active view is fanout+1).
-  std::size_t fanout = 4;
-  /// Re-forward a message to a substitute target when a send fails. The
-  /// paper's protocols do NOT re-route (kept for ablation A3).
-  bool reroute_on_failure = false;
-  /// Ship a GossipAck frame for every gossip frame received in
-  /// kRandomFanoutAcked mode. Failure *detection* is always modeled through
-  /// the transport (a send to a dead peer fails back, i.e. "no ack came"),
-  /// so this flag only affects traffic accounting: enable it to charge the
-  /// CyclonAcked ack overhead in wire-cost experiments.
-  bool explicit_acks = false;
-  /// Synthetic payload size carried in each gossip frame.
-  std::uint32_t payload_size = 128;
-  /// Duplicate-suppression window (ids remembered per node). Size it to
-  /// the *in-flight* duplicate horizon — the number of distinct broadcasts
-  /// that can have undelivered copies at once — not to total history; an
-  /// id evicted while copies are still in flight would be re-delivered as
-  /// new. The default is generous for long-lived deployments; the
-  /// simulation harness overrides it down (NetworkConfig::defaults_for),
-  /// where it drains every broadcast before the next and 10k per-node
-  /// windows decide whether remember() hits cache or DRAM.
-  std::size_t dedup_window = 1024;
-};
-
-/// Observes deliveries network-wide (reliability accounting in the harness,
-/// application callbacks in real deployments).
-class DeliveryObserver {
- public:
-  virtual ~DeliveryObserver() = default;
-  /// First delivery of `msg_id` at `node`, `hops` overlay hops from the
-  /// source (0 at the source itself).
-  virtual void on_deliver(const NodeId& node, std::uint64_t msg_id,
-                          std::uint16_t hops) = 0;
-  /// A duplicate copy arrived (redundancy accounting).
-  virtual void on_duplicate(const NodeId& node, std::uint64_t msg_id) {
-    (void)node;
-    (void)msg_id;
-  }
-};
-
-class GossipEngine {
+class GossipEngine final : public BroadcastEngine {
  public:
   GossipEngine(membership::Env& env, membership::Protocol& protocol,
                GossipConfig config, DeliveryObserver* observer);
 
   /// Starts a broadcast at this node (delivers locally with hops = 0).
-  void broadcast(std::uint64_t msg_id);
+  void broadcast(std::uint64_t msg_id) override;
 
   /// Incoming gossip frame.
   void handle_gossip(const NodeId& from, const wire::Gossip& msg);
@@ -86,18 +39,34 @@ class GossipEngine {
   /// A gossip frame we sent to `to` bounced (peer crashed).
   void on_send_failed(const NodeId& to, const wire::Gossip& msg);
 
-  [[nodiscard]] std::uint64_t duplicates_received() const {
+  // --- BroadcastEngine frame dispatch ----------------------------------------
+  [[nodiscard]] bool handle(const NodeId& from,
+                            const wire::Message& msg) override;
+  [[nodiscard]] bool handle_send_failed(const NodeId& to,
+                                        const wire::Message& msg) override;
+
+  [[nodiscard]] std::uint64_t duplicates_received() const override {
     return duplicates_;
   }
-  [[nodiscard]] std::uint64_t messages_forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t messages_forwarded() const override {
+    return forwarded_;
+  }
+  [[nodiscard]] std::uint64_t payload_bytes_sent() const override {
+    return payload_bytes_;
+  }
+  [[nodiscard]] std::uint64_t control_bytes_sent() const override {
+    return control_bytes_;
+  }
 
   /// Adjusts the gossip fanout at runtime (Figure 1 sweeps fanouts over one
   /// stabilized overlay). Ignored by kFlood.
-  void set_fanout(std::size_t fanout) { config_.fanout = fanout; }
-  [[nodiscard]] std::size_t fanout() const { return config_.fanout; }
+  void set_fanout(std::size_t fanout) override { config_.fanout = fanout; }
+  [[nodiscard]] std::size_t fanout() const override { return config_.fanout; }
+
+  [[nodiscard]] const char* engine_name() const override { return "eager"; }
 
   /// Drops the dedup history (between harness experiments).
-  void reset();
+  void reset() override;
 
  private:
   void deliver_and_forward(const wire::Gossip& msg, const NodeId& exclude);
@@ -126,6 +95,8 @@ class GossipEngine {
   std::vector<NodeId> reroute_scratch_;
   std::uint64_t duplicates_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t control_bytes_ = 0;
 };
 
 }  // namespace hyparview::gossip

@@ -1,10 +1,12 @@
-// Per-node runtime: glues a membership protocol and a gossip engine to a
+// Per-node runtime: glues a membership protocol and a broadcast engine to a
 // transport endpoint. Used by both the simulator harness and the TCP host.
 #pragma once
 
 #include <memory>
 
+#include "hyparview/gossip/broadcast_engine.hpp"
 #include "hyparview/gossip/gossip_engine.hpp"
+#include "hyparview/gossip/tree_broadcast_engine.hpp"
 #include "hyparview/membership/endpoint.hpp"
 #include "hyparview/membership/env.hpp"
 #include "hyparview/membership/protocol.hpp"
@@ -16,43 +18,44 @@ class NodeRuntime final : public membership::Endpoint {
   NodeRuntime(membership::Env& env,
               std::unique_ptr<membership::Protocol> protocol,
               GossipConfig gossip_config, DeliveryObserver* observer)
-      : protocol_(std::move(protocol)),
-        gossip_(env, *protocol_, gossip_config, observer) {}
+      : protocol_(std::move(protocol)) {
+    // Engine selection is a config knob (JSON spec `gossip.engine`), not a
+    // compile-time choice: the pub/sub bench runs both engines over the
+    // same membership substrate in one process.
+    if (gossip_config.engine == Engine::kPlumtree) {
+      engine_ = std::make_unique<TreeBroadcastEngine>(env, *protocol_,
+                                                      gossip_config, observer);
+    } else {
+      engine_ = std::make_unique<GossipEngine>(env, *protocol_, gossip_config,
+                                               observer);
+    }
+  }
 
   [[nodiscard]] membership::Protocol& protocol() { return *protocol_; }
   [[nodiscard]] const membership::Protocol& protocol() const {
     return *protocol_;
   }
-  [[nodiscard]] GossipEngine& gossip() { return gossip_; }
+  [[nodiscard]] BroadcastEngine& gossip() { return *engine_; }
 
   // --- membership::Endpoint --------------------------------------------------
   void deliver(const NodeId& from, const wire::Message& msg) override {
-    if (const auto* g = std::get_if<wire::Gossip>(&msg)) {
-      gossip_.handle_gossip(from, *g);
-    } else if (std::holds_alternative<wire::GossipAck>(msg)) {
-      // Ack handling is implicit (transport failure reporting); ignore.
-    } else {
-      protocol_->handle(from, msg);
-    }
+    if (engine_->handle(from, msg)) return;
+    protocol_->handle(from, msg);
   }
 
   void send_failed(const NodeId& to, const wire::Message& msg) override {
-    if (const auto* g = std::get_if<wire::Gossip>(&msg)) {
-      gossip_.on_send_failed(to, *g);
-    } else if (std::holds_alternative<wire::GossipAck>(msg)) {
-      // Lost ack to a dead node: nothing to do.
-    } else {
-      protocol_->on_send_failed(to, msg);
-    }
+    if (engine_->handle_send_failed(to, msg)) return;
+    protocol_->on_send_failed(to, msg);
   }
 
   void link_closed(const NodeId& peer) override {
+    engine_->on_neighbor_down(peer);
     protocol_->on_link_closed(peer);
   }
 
  private:
   std::unique_ptr<membership::Protocol> protocol_;
-  GossipEngine gossip_;
+  std::unique_ptr<BroadcastEngine> engine_;
 };
 
 }  // namespace hyparview::gossip

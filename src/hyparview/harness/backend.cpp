@@ -236,6 +236,114 @@ HeavyChurnStats Backend::run_heavy_churn(const HeavyChurnConfig& cfg) {
   return stats;
 }
 
+PubSubStats Backend::run_pubsub(const PubSubConfig& cfg) {
+  HPV_CHECK(built());
+  PubSubStats stats;
+
+  // Distinct publishers off the shared harness stream (same draw order on
+  // both backends). Capped by the population when a small cluster is asked
+  // for more sources than it has alive nodes.
+  std::vector<std::size_t> sources;
+  const std::size_t want = std::min(cfg.sources, alive_count());
+  sources.reserve(want);
+  while (sources.size() < want) {
+    const std::size_t s = random_alive_node();
+    if (std::find(sources.begin(), sources.end(), s) == sources.end()) {
+      sources.push_back(s);
+    }
+  }
+
+  // Engine counters are cumulative; the workload reports deltas so warmup
+  // traffic (bootstrap, stabilization rounds) is excluded.
+  struct Totals {
+    std::uint64_t payload = 0;
+    std::uint64_t control = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t grafts = 0;
+    std::uint64_t prunes = 0;
+  };
+  const auto totals = [this] {
+    Totals t;
+    for (std::size_t i = 0; i < node_count(); ++i) {
+      gossip::BroadcastEngine& e = engine(i);
+      t.payload += e.payload_bytes_sent();
+      t.control += e.control_bytes_sent();
+      t.forwarded += e.messages_forwarded();
+      t.duplicates += e.duplicates_received();
+      t.grafts += e.grafts_sent();
+      t.prunes += e.prunes_sent();
+    }
+    return t;
+  };
+  const Totals before = totals();
+
+  std::vector<std::uint64_t> all_ids;
+  all_ids.reserve(cfg.sources * cfg.ticks * cfg.rate);
+  std::vector<std::uint64_t> tick_ids;
+  tick_ids.reserve(cfg.sources * cfg.rate);
+  const std::size_t mid_tick = cfg.ticks / 2;
+
+  for (std::size_t tick = 0; tick < cfg.ticks; ++tick) {
+    if (cfg.churn_fraction > 0.0 && tick == mid_tick && tick > 0) {
+      fail_random_fraction(cfg.churn_fraction);
+      // Dead publishers hand their stream to a fresh random alive node —
+      // the stream keeps flowing while the overlay (and tree) heals.
+      for (std::size_t& s : sources) {
+        while (!alive(s) ||
+               std::count(sources.begin(), sources.end(), s) > 1) {
+          s = random_alive_node();
+        }
+      }
+    }
+    // Every source publishes its whole tick budget *before* anything
+    // settles: sources × rate messages genuinely share the wire.
+    tick_ids.clear();
+    for (const std::size_t s : sources) {
+      for (std::size_t r = 0; r < cfg.rate; ++r) {
+        tick_ids.push_back(inject_broadcast(s));
+      }
+    }
+    if (cfg.cycles_per_tick > 0) run_cycles(cfg.cycles_per_tick);
+    settle_broadcasts(tick_ids);
+
+    double sum = 0.0;
+    for (const std::uint64_t id : tick_ids) {
+      sum += recorder().result(id).reliability();
+    }
+    if (!tick_ids.empty()) {
+      stats.per_tick_reliability.push_back(
+          sum / static_cast<double>(tick_ids.size()));
+    }
+    all_ids.insert(all_ids.end(), tick_ids.begin(), tick_ids.end());
+  }
+
+  stats.published = all_ids.size();
+  double reliability_sum = 0.0;
+  double latency_sum = 0.0;
+  for (const std::uint64_t id : all_ids) {
+    const analysis::MessageResult& r = recorder().result(id);
+    reliability_sum += r.reliability();
+    stats.min_reliability = std::min(stats.min_reliability, r.reliability());
+    latency_sum += static_cast<double>(r.latency_to_last());
+    stats.max_latency_us = std::max(stats.max_latency_us, r.latency_to_last());
+  }
+  if (stats.published > 0) {
+    stats.avg_reliability =
+        reliability_sum / static_cast<double>(stats.published);
+    stats.avg_latency_us = latency_sum / static_cast<double>(stats.published);
+  }
+
+  const Totals after = totals();
+  stats.payload_bytes = after.payload - before.payload;
+  stats.control_bytes = after.control - before.control;
+  stats.messages_forwarded = after.forwarded - before.forwarded;
+  stats.duplicates = after.duplicates - before.duplicates;
+  stats.grafts = after.grafts - before.grafts;
+  stats.prunes = after.prunes - before.prunes;
+  return stats;
+}
+
 std::size_t Backend::sybil_burst(std::size_t per_adversary) {
   std::size_t fired = 0;
   for (std::size_t i = 0; i < node_count(); ++i) {

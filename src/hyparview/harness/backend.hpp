@@ -20,11 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hyparview/analysis/broadcast_recorder.hpp"
 #include "hyparview/common/node_id.hpp"
 #include "hyparview/common/rng.hpp"
+#include "hyparview/gossip/broadcast_engine.hpp"
 #include "hyparview/graph/digraph.hpp"
 #include "hyparview/membership/protocol.hpp"
 
@@ -120,6 +122,48 @@ struct HeavyChurnStats {
   double max_session_cycles = 0.0;
 };
 
+/// Sustained pub/sub workload: `sources` publisher nodes each inject `rate`
+/// messages per tick for `ticks` ticks. Unlike the discrete broadcast waves
+/// of broadcast_many, every tick's messages are injected *before* the
+/// network settles, so sources × rate broadcasts are genuinely in flight
+/// concurrently — the regime Plumtree's lazy links and the configurable
+/// dedup window exist for.
+struct PubSubConfig {
+  std::size_t sources = 4;
+  std::size_t ticks = 25;
+  /// Messages per source per tick.
+  std::size_t rate = 1;
+  /// Crash this fraction of alive nodes at the midpoint tick (0 = no
+  /// churn). Dead publishers are replaced by fresh random alive sources —
+  /// the stream keeps flowing while the overlay (and tree) heals.
+  double churn_fraction = 0.0;
+  /// Membership rounds run between injection and settling each tick
+  /// (shuffles interleave with payload traffic; 0 = membership idle).
+  std::size_t cycles_per_tick = 0;
+};
+
+struct PubSubStats {
+  std::size_t published = 0;
+  std::vector<double> per_tick_reliability;
+  /// Mean/min over *messages* (not ticks).
+  double avg_reliability = 0.0;
+  double min_reliability = 1.0;
+  /// Engine-counter deltas summed over every node, measured across the
+  /// workload (deterministic on the sim backend).
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t messages_forwarded = 0;
+  std::uint64_t duplicates = 0;
+  /// Tree-stability counters (always 0 for the eager engine).
+  std::uint64_t grafts = 0;
+  std::uint64_t prunes = 0;
+  /// Publish-to-last-delivery latency over all messages, in the backend's
+  /// time unit (simulated µs on sim, wall-clock µs on TCP). Zero when the
+  /// recorder has no time source.
+  double avg_latency_us = 0.0;
+  std::int64_t max_latency_us = 0;
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -176,6 +220,21 @@ class Backend {
   /// any reactive repair traffic it triggers) settles before returning.
   virtual analysis::MessageResult broadcast_from(std::size_t source) = 0;
 
+  /// Starts a broadcast from node `source` WITHOUT settling: registers the
+  /// message with the recorder and injects it, leaving its traffic in
+  /// flight. The pub/sub workload uses this to put many messages on the
+  /// wire concurrently before one settle. Returns the message id.
+  virtual std::uint64_t inject_broadcast(std::size_t source) = 0;
+
+  /// Waits for the injected broadcasts `ids` to finish: quiescence drain on
+  /// the simulator (the default — timers included, so graft repair runs to
+  /// completion), recorder-progress polling bounded by the broadcast
+  /// timeout on TCP.
+  virtual void settle_broadcasts(std::span<const std::uint64_t> ids) {
+    (void)ids;
+    settle();
+  }
+
   /// One broadcast from a uniformly random alive node.
   analysis::MessageResult broadcast_one();
 
@@ -199,6 +258,12 @@ class Backend {
   /// Shared implementation — both backends execute the identical draw
   /// sequence.
   virtual HeavyChurnStats run_heavy_churn(const HeavyChurnConfig& cfg);
+
+  /// Runs the sustained pub/sub workload (see PubSubConfig). Shared
+  /// implementation on inject_broadcast/settle_broadcasts, so both
+  /// backends execute the identical source-selection and injection
+  /// sequence.
+  virtual PubSubStats run_pubsub(const PubSubConfig& cfg);
 
   /// Fires one sybil burst: every alive adversarial node injects
   /// `per_adversary` fabricated joins (AttackKind::kSybil; a no-op on
@@ -243,6 +308,8 @@ class Backend {
   [[nodiscard]] virtual membership::Protocol& protocol(std::size_t i) = 0;
   [[nodiscard]] virtual const membership::Protocol& protocol(
       std::size_t i) const = 0;
+  /// Node `i`'s broadcast engine (eager or Plumtree; traffic accounting).
+  [[nodiscard]] virtual gossip::BroadcastEngine& engine(std::size_t i) = 0;
   [[nodiscard]] virtual analysis::BroadcastRecorder& recorder() = 0;
 
   /// The adversarial roster driving this backend's fault injection

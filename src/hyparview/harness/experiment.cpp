@@ -125,6 +125,15 @@ Experiment& Experiment::heavy_churn(const HeavyChurnConfig& cfg,
   return *this;
 }
 
+Experiment& Experiment::pubsub(const PubSubConfig& cfg, std::string label) {
+  Phase p;
+  p.kind = PhaseKind::kPubSub;
+  p.label = std::move(label);
+  p.pubsub = cfg;
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
 Experiment& Experiment::settle(std::string label) {
   Phase p;
   p.kind = PhaseKind::kSettle;
@@ -144,6 +153,9 @@ std::size_t Experiment::planned_broadcasts() const {
         break;
       case PhaseKind::kHeavyChurn:
         total += p.heavy.cycles * p.heavy.probes_per_cycle;
+        break;
+      case PhaseKind::kPubSub:
+        total += p.pubsub.sources * p.pubsub.ticks * p.pubsub.rate;
         break;
       default: break;
     }
@@ -272,6 +284,10 @@ ExperimentResult run_experiment(Backend& backend, const Experiment& spec) {
       case Experiment::PhaseKind::kHeavyChurn:
         pr.heavy = backend.run_heavy_churn(phase.heavy);
         pr.reliabilities = pr.heavy.per_cycle_reliability;
+        break;
+      case Experiment::PhaseKind::kPubSub:
+        pr.pubsub = backend.run_pubsub(phase.pubsub);
+        pr.reliabilities = pr.pubsub.per_tick_reliability;
         break;
     }
 

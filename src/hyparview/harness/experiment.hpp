@@ -55,6 +55,7 @@ class Experiment {
     kSettle,      ///< let in-flight traffic finish (Backend::settle)
     kSybilBurst,  ///< adversaries inject fabricated joins, then settle
     kHeavyChurn,  ///< trace-driven churn (heavy-tailed session lengths)
+    kPubSub,      ///< sustained multi-source pub/sub streams
   };
 
   struct Phase {
@@ -70,6 +71,7 @@ class Experiment {
     std::string baseline_label;    ///< kHealUntil reference phase
     ChurnConfig churn{};           ///< kChurn
     HeavyChurnConfig heavy{};      ///< kHeavyChurn
+    PubSubConfig pubsub{};         ///< kPubSub
   };
 
   explicit Experiment(std::string name) : name_(std::move(name)) {}
@@ -107,6 +109,8 @@ class Experiment {
   /// (Backend::run_heavy_churn).
   Experiment& heavy_churn(const HeavyChurnConfig& cfg,
                           std::string label = "heavy_churn");
+  /// Sustained multi-source pub/sub streams (Backend::run_pubsub).
+  Experiment& pubsub(const PubSubConfig& cfg, std::string label = "pubsub");
   /// Drains in-flight traffic (e.g. crash notifications in the
   /// notify-on-crash ablation) before the next measured phase.
   Experiment& settle(std::string label = "settle");
@@ -157,6 +161,9 @@ struct PhaseResult {
 
   // kHeavyChurn:
   HeavyChurnStats heavy;
+
+  // kPubSub:
+  PubSubStats pubsub;
 
   // kSybilBurst:
   std::size_t adversaries_fired = 0;

@@ -67,6 +67,9 @@ SimBackend::SimBackend(NetworkConfig config)
         config_.adversary, config_.seed, /*real_addresses=*/false);
     adversary_->select(config_.node_count);
   }
+  // Latency metrics read simulated time — deterministic, so pub/sub latency
+  // numbers are bit-stable at fixed seed like every other sim metric.
+  recorder_.set_time_source([this] { return sim_.now(); });
 }
 
 SimBackend::~SimBackend() = default;
@@ -211,11 +214,16 @@ std::size_t SimBackend::add_node() {
   return index;
 }
 
-analysis::MessageResult SimBackend::broadcast_from(std::size_t source) {
+std::uint64_t SimBackend::inject_broadcast(std::size_t source) {
   HPV_CHECK(source < runtimes_.size() && alive(source));
   const std::uint64_t msg_id = next_msg_id_++;
   recorder_.begin_message(msg_id, sim_.alive_count());
   runtimes_[source]->gossip().broadcast(msg_id);
+  return msg_id;
+}
+
+analysis::MessageResult SimBackend::broadcast_from(std::size_t source) {
+  const std::uint64_t msg_id = inject_broadcast(source);
   sim_.run_until_quiescent();
   return recorder_.result(msg_id);
 }

@@ -132,6 +132,10 @@ class SimBackend final : public Backend {
   /// process is frozen.
   analysis::MessageResult broadcast_from(std::size_t source) override;
 
+  /// Registers + injects a broadcast without draining (pub/sub workload);
+  /// settle()/settle_broadcasts() later retires the in-flight traffic.
+  std::uint64_t inject_broadcast(std::size_t source) override;
+
   /// Changes the gossip fanout of every node (Figure 1 sweep).
   void set_fanout(std::size_t fanout) override;
 
@@ -157,6 +161,9 @@ class SimBackend final : public Backend {
   [[nodiscard]] const membership::Protocol& protocol(
       std::size_t i) const override;
   [[nodiscard]] gossip::NodeRuntime& runtime(std::size_t i);
+  [[nodiscard]] gossip::BroadcastEngine& engine(std::size_t i) override {
+    return runtime(i).gossip();
+  }
   [[nodiscard]] NodeId id_of(std::size_t i) const override;
   [[nodiscard]] bool alive(std::size_t i) const override;
   [[nodiscard]] std::vector<bool> alive_mask() const;

@@ -232,12 +232,26 @@ void load_scamp(const json::Value& v, const std::string& path,
 void load_gossip(const json::Value& v, const std::string& path,
                  gossip::GossipConfig& cfg) {
   ObjectReader r(v, path);
+  const std::string engine = r.get_string(
+      "engine",
+      cfg.engine == gossip::Engine::kPlumtree ? "plumtree" : "eager");
+  if (engine == "eager") {
+    cfg.engine = gossip::Engine::kEager;
+  } else if (engine == "plumtree") {
+    cfg.engine = gossip::Engine::kPlumtree;
+  } else {
+    throw CheckError("spec: " + r.key_path("engine") + ": unknown engine '" +
+                     engine + "' (expected eager or plumtree)");
+  }
   const std::int64_t payload = r.get_int("payload_size", cfg.payload_size);
   HPV_CHECK_THROW(payload >= 0 &&
                       payload <= std::numeric_limits<std::uint32_t>::max(),
                   "spec: " + path + ".payload_size: out of range");
   cfg.payload_size = static_cast<std::uint32_t>(payload);
   cfg.dedup_window = r.get_size("dedup_window", cfg.dedup_window);
+  cfg.cache_window = r.get_size("cache_window", cfg.cache_window);
+  cfg.graft_timeout = milliseconds(
+      r.get_int("graft_timeout_ms", cfg.graft_timeout / 1000));
   cfg.reroute_on_failure =
       r.get_bool("reroute_on_failure", cfg.reroute_on_failure);
   cfg.explicit_acks = r.get_bool("explicit_acks", cfg.explicit_acks);
@@ -361,6 +375,7 @@ const char* phase_kind_name(Experiment::PhaseKind kind) {
     case PK::kSettle: return "settle";
     case PK::kSybilBurst: return "sybil_burst";
     case PK::kHeavyChurn: return "heavy_churn";
+    case PK::kPubSub: return "pubsub";
   }
   return "?";
 }
@@ -424,6 +439,14 @@ void load_phase(Experiment& spec, const json::Value& v,
         r.get_fraction("graceful_fraction", cfg.graceful_fraction);
     cfg.probes_per_cycle = r.get_size("probes_per_cycle", cfg.probes_per_cycle);
     spec.heavy_churn(cfg, r.get_string("label", "heavy_churn"));
+  } else if (kind == "pubsub") {
+    PubSubConfig cfg;
+    cfg.sources = r.get_size("sources", cfg.sources);
+    cfg.ticks = r.get_size("ticks", cfg.ticks);
+    cfg.rate = r.get_size("rate", cfg.rate);
+    cfg.churn_fraction = r.get_fraction("churn_fraction", cfg.churn_fraction);
+    cfg.cycles_per_tick = r.get_size("cycles_per_tick", cfg.cycles_per_tick);
+    spec.pubsub(cfg, r.get_string("label", "pubsub"));
   } else if (kind == "sybil_burst") {
     spec.sybil_burst(r.require_size("per_adversary"),
                      r.get_string("label", "sybil"));
@@ -484,6 +507,13 @@ json::Value phase_to_json(const Experiment::Phase& p) {
       o.set("graceful_fraction", p.heavy.graceful_fraction);
       o.set("probes_per_cycle", p.heavy.probes_per_cycle);
       break;
+    case PK::kPubSub:
+      o.set("sources", p.pubsub.sources);
+      o.set("ticks", p.pubsub.ticks);
+      o.set("rate", p.pubsub.rate);
+      o.set("churn_fraction", p.pubsub.churn_fraction);
+      o.set("cycles_per_tick", p.pubsub.cycles_per_tick);
+      break;
     case PK::kSybilBurst:
       o.set("per_adversary", p.count);
       break;
@@ -533,8 +563,13 @@ json::Value network_to_json(const NetworkConfig& cfg) {
   net.set("scamp", std::move(sc));
 
   json::Value go = json::Value::object();
+  go.set("engine", cfg.gossip.engine == gossip::Engine::kPlumtree
+                       ? "plumtree"
+                       : "eager");
   go.set("payload_size", static_cast<std::int64_t>(cfg.gossip.payload_size));
   go.set("dedup_window", cfg.gossip.dedup_window);
+  go.set("cache_window", cfg.gossip.cache_window);
+  go.set("graft_timeout_ms", cfg.gossip.graft_timeout / 1000);
   go.set("reroute_on_failure", cfg.gossip.reroute_on_failure);
   go.set("explicit_acks", cfg.gossip.explicit_acks);
   net.set("gossip", std::move(go));
@@ -686,6 +721,42 @@ RunSpec adversarial_builtin(AttackKind attack) {
   return spec;
 }
 
+RunSpec pubsub_builtin(gossip::Engine engine) {
+  RunSpec spec;
+  spec.name = engine == gossip::Engine::kPlumtree ? "pubsub_plumtree"
+                                                  : "pubsub_eager";
+  spec.net = NetworkConfig::defaults_for(ProtocolKind::kHyParView,
+                                         kPaperNodes, kSeed);
+  spec.net.gossip.engine = engine;
+  // Sustained streams keep sources × rate messages in flight per tick, with
+  // duplicates (and IHave/Graft repair for Plumtree) of earlier ticks still
+  // arriving; the discrete-wave 128 default of defaults_for under-remembers
+  // that horizon and re-delivers evicted ids (dedup window regression test
+  // pins the failure). Size both per-node windows well past the stream.
+  spec.net.gossip.dedup_window = 4096;
+  spec.net.gossip.cache_window = 4096;
+  spec.tcp = TcpBackendConfig::defaults_for(ProtocolKind::kHyParView,
+                                            kTcpNodes, kSeed);
+  spec.tcp.gossip = spec.net.gossip;
+
+  // Steady-state streams first (the bytes-on-wire comparison window), then
+  // the same streams under a 25% midpoint crash (tree repair under churn).
+  Experiment exp(spec.name);
+  exp.stabilize(50);
+  PubSubConfig steady;
+  steady.sources = 8;
+  steady.ticks = 25;
+  steady.rate = 2;
+  steady.cycles_per_tick = 1;
+  exp.pubsub(steady, "steady");
+  PubSubConfig churned = steady;
+  churned.ticks = 10;
+  churned.churn_fraction = 0.25;
+  exp.pubsub(churned, "churn");
+  spec.experiment = std::move(exp);
+  return spec;
+}
+
 }  // namespace
 
 RunSpec builtin_spec(std::string_view name) {
@@ -725,6 +796,10 @@ RunSpec builtin_spec(std::string_view name) {
                           .stabilize(50)
                           .crash(0.5)
                           .broadcast(1000, "measure");
+  } else if (name == "pubsub_plumtree") {
+    spec = pubsub_builtin(gossip::Engine::kPlumtree);
+  } else if (name == "pubsub_eager") {
+    spec = pubsub_builtin(gossip::Engine::kEager);
   } else if (name == "adversarial_poison") {
     spec = adversarial_builtin(AttackKind::kPoison);
   } else if (name == "adversarial_drop") {
@@ -739,7 +814,8 @@ RunSpec builtin_spec(std::string_view name) {
 }
 
 std::vector<std::string> builtin_spec_names() {
-  return {"fig1", "fig1_reference", "fig2", "adversarial_poison",
+  return {"fig1",           "fig1_reference",     "fig2",
+          "pubsub_plumtree", "pubsub_eager",      "adversarial_poison",
           "adversarial_drop", "adversarial_sybil"};
 }
 

@@ -56,6 +56,9 @@ TcpBackend::TcpBackend(TcpBackendConfig config)
         config_.adversary, config_.seed, /*real_addresses=*/true);
     adversary_->select(config_.node_count);
   }
+  // Latency metrics read the event loop's monotonic clock — real
+  // publish-to-last-delivery times over loopback sockets.
+  recorder_.set_time_source([this] { return loop_.now(); });
 }
 
 TcpBackend::~TcpBackend() {
@@ -182,12 +185,50 @@ void TcpBackend::run_cycles(std::size_t n, const CycleOptions& options) {
   }
 }
 
-analysis::MessageResult TcpBackend::broadcast_from(std::size_t source) {
+std::uint64_t TcpBackend::inject_broadcast(std::size_t source) {
   HPV_CHECK(source < nodes_.size() && nodes_[source].alive);
   const std::uint64_t msg_id = next_msg_id_++;
   recorder_.begin_message(msg_id, alive_count_);
   nodes_[source].runtime->gossip().broadcast(msg_id);
-  const std::size_t expect = alive_count_;
+  return msg_id;
+}
+
+void TcpBackend::settle_broadcasts(std::span<const std::uint64_t> ids) {
+  if (ids.empty()) {
+    settle();
+    return;
+  }
+  // Same cutoff structure as broadcast_from, aggregated: completion is
+  // every id reaching its own registered alive population; "progress" is
+  // the combined delivered+duplicate count over the batch, so one still-
+  // flooding message keeps the whole window open.
+  std::uint64_t last_seen = 0;
+  TimePoint last_progress = loop_.now();
+  loop_.run_until(
+      [&] {
+        bool all_done = true;
+        std::uint64_t seen = 0;
+        for (const std::uint64_t id : ids) {
+          const analysis::MessageResult& r = recorder_.result(id);
+          if (r.delivered < r.alive_nodes) all_done = false;
+          seen += static_cast<std::uint64_t>(r.delivered) + r.duplicates;
+        }
+        if (all_done) return true;
+        const TimePoint now = loop_.now();
+        if (seen != last_seen) {
+          last_seen = seen;
+          last_progress = now;
+          return false;
+        }
+        const Duration quiet = now > last_progress ? now - last_progress : 0;
+        return last_seen > 0 && quiet > config_.broadcast_quiet_window;
+      },
+      config_.broadcast_timeout);
+}
+
+analysis::MessageResult TcpBackend::broadcast_from(std::size_t source) {
+  const std::uint64_t msg_id = inject_broadcast(source);
+  const std::size_t expect = recorder_.result(msg_id).alive_nodes;
   // Done when every alive node delivered — or when the flood went quiet
   // (no new deliveries/duplicates for a window): after failures, protocols
   // without a failure detector legitimately stall below full delivery, and

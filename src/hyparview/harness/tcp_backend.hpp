@@ -121,6 +121,15 @@ class TcpBackend final : public Backend {
 
   analysis::MessageResult broadcast_from(std::size_t source) override;
 
+  /// Registers + injects a broadcast without waiting (pub/sub workload).
+  std::uint64_t inject_broadcast(std::size_t source) override;
+
+  /// Waits for a whole batch of in-flight broadcasts at once: done when
+  /// every id reached its registered alive population, when their combined
+  /// progress went quiet (post-failure partial delivery), or at the hard
+  /// broadcast_timeout — the aggregated form of broadcast_from's wait.
+  void settle_broadcasts(std::span<const std::uint64_t> ids) override;
+
   void set_fanout(std::size_t fanout) override;
 
   /// TCP ids are real ip:port addresses — the index map resolves whoever
@@ -141,6 +150,9 @@ class TcpBackend final : public Backend {
   [[nodiscard]] const membership::Protocol& protocol(
       std::size_t i) const override;
   [[nodiscard]] gossip::NodeRuntime& runtime(std::size_t i);
+  [[nodiscard]] gossip::BroadcastEngine& engine(std::size_t i) override {
+    return runtime(i).gossip();
+  }
   [[nodiscard]] analysis::BroadcastRecorder& recorder() override {
     return recorder_;
   }

@@ -80,6 +80,10 @@ const char* type_name(const Message& msg) {
           [](const Gossip&) { return "GOSSIP"; },
           [](const GossipAck&) { return "GOSSIP_ACK"; },
           [](const Hello&) { return "HELLO"; },
+          [](const TreeGossip&) { return "TREE_GOSSIP"; },
+          [](const IHave&) { return "IHAVE"; },
+          [](const Graft&) { return "GRAFT"; },
+          [](const Prune&) { return "PRUNE"; },
       },
       msg);
 }
@@ -136,6 +140,17 @@ void encode_impl(const Message& msg, Writer& w) {
           },
           [&](const GossipAck& m) { w.u64(m.msg_id); },
           [&](const Hello& m) { w.node_id(m.node_id); },
+          [&](const TreeGossip& m) {
+            w.u64(m.msg_id);
+            w.u16(m.hops);
+            w.u32(m.payload_size);
+          },
+          [&](const IHave& m) {
+            w.u64(m.msg_id);
+            w.u16(m.hops);
+          },
+          [&](const Graft& m) { w.u64(m.msg_id); },
+          [&](const Prune&) {},
       },
       msg);
 }
@@ -156,12 +171,20 @@ std::size_t wire_cost(const Message& msg) {
   // size, but a deployment would ship the bytes, so overhead accounting
   // charges them.
   if (const auto* g = std::get_if<Gossip>(&msg)) cost += g->payload_size;
+  if (const auto* t = std::get_if<TreeGossip>(&msg)) cost += t->payload_size;
   return cost;
 }
 
 std::size_t wire_cost(const Gossip& gossip) {
   // tag u8 + msg_id u64 + hops u16 + payload_size u32, then the synthetic
   // payload itself (kept in sync with encode_impl by a wire test).
+  constexpr std::size_t kGossipFrameBytes = 1 + 8 + 2 + 4;
+  return kGossipFrameBytes + gossip.payload_size;
+}
+
+std::size_t wire_cost(const TreeGossip& gossip) {
+  // Identical layout to Gossip; a wire test pins this against the generic
+  // overload too.
   constexpr std::size_t kGossipFrameBytes = 1 + 8 + 2 + 4;
   return kGossipFrameBytes + gossip.payload_size;
 }
@@ -251,6 +274,23 @@ Message decode(BinaryReader& r) {
       return GossipAck{r.u64()};
     case 19:
       return Hello{r.node_id()};
+    case 20: {
+      TreeGossip m;
+      m.msg_id = r.u64();
+      m.hops = r.u16();
+      m.payload_size = r.u32();
+      return m;
+    }
+    case 21: {
+      IHave m;
+      m.msg_id = r.u64();
+      m.hops = r.u16();
+      return m;
+    }
+    case 22:
+      return Graft{r.u64()};
+    case 23:
+      return Prune{};
     default:
       throw CheckError("wire::decode: unknown message tag " +
                        std::to_string(tag));

@@ -64,7 +64,20 @@ struct FlatList {
   void assign(std::span<const T> src) {
     HPV_CHECK_THROW(src.size() <= N, "FlatList: assign exceeds capacity");
     count = static_cast<std::uint8_t>(src.size());
-    for (std::size_t i = 0; i < src.size(); ++i) items[i] = src[i];
+    // GCC's stringop-overflow range analysis does not propagate through
+    // the throwing bound check above and reports a spurious out-of-bounds
+    // write when this constructor is inlined into a temporary-conversion
+    // chain (seen with GCC 13/14 once wire::Message crossed 20
+    // alternatives). The loop is double-bounded (`i < N`) so the write
+    // provably stays inside `items`; silence the false positive locally.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+    for (std::size_t i = 0; i < src.size() && i < N; ++i) items[i] = src[i];
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   }
 
   [[nodiscard]] std::size_t size() const { return count; }
@@ -296,12 +309,48 @@ struct Hello {
 };
 
 // ---------------------------------------------------------------------------
+// Plumtree payload plane (epidemic broadcast trees, Leitão et al. 2007)
+// ---------------------------------------------------------------------------
+
+/// Eager push along a tree link. Same shape as Gossip — the engines differ
+/// in routing, not in payload — but a distinct frame so the simulator's
+/// per-type byte accounting separates tree traffic from flood traffic.
+struct TreeGossip {
+  std::uint64_t msg_id = 0;
+  std::uint16_t hops = 0;
+  std::uint32_t payload_size = 0;
+  friend bool operator==(const TreeGossip&, const TreeGossip&) = default;
+};
+
+/// Lazy announcement on a non-tree link: "I have msg_id" without the
+/// payload. `hops` lets a grafted retransmission keep an honest hop count.
+struct IHave {
+  std::uint64_t msg_id = 0;
+  std::uint16_t hops = 0;
+  friend bool operator==(const IHave&, const IHave&) = default;
+};
+
+/// Missing-message repair: asks an IHave announcer to retransmit `msg_id`
+/// eagerly and promotes the link into the sender's eager (tree) set.
+struct Graft {
+  std::uint64_t msg_id = 0;
+  friend bool operator==(const Graft&, const Graft&) = default;
+};
+
+/// Duplicate-suppression: tells the sender of a redundant eager push to
+/// demote this link to lazy (IHave-only) until a Graft restores it.
+struct Prune {
+  friend bool operator==(const Prune&, const Prune&) = default;
+};
+
+// ---------------------------------------------------------------------------
 
 using Message = std::variant<
     Join, ForwardJoin, ForwardJoinAccept, Disconnect, Neighbor, NeighborReply,
     Shuffle, ShuffleReply, CyclonShuffle, CyclonShuffleReply, CyclonJoinWalk,
     CyclonJoinGift, ScampSubscribe, ScampForwardedSub, ScampInViewNotify,
-    ScampReplace, ScampHeartbeat, Gossip, GossipAck, Hello>;
+    ScampReplace, ScampHeartbeat, Gossip, GossipAck, Hello, TreeGossip, IHave,
+    Graft, Prune>;
 
 /// The design invariant of the flat wire path: any message — membership
 /// control traffic included — can ride a POD slab and be recycled without
@@ -331,6 +380,9 @@ void encode(const Message& msg, BinaryWriter& writer);
 /// skip the generic encoder walk. A wire test pins it against the generic
 /// overload so the two can never disagree.
 [[nodiscard]] std::size_t wire_cost(const Gossip& gossip);
+
+/// Same fast path for the Plumtree eager-push loop (identical frame layout).
+[[nodiscard]] std::size_t wire_cost(const TreeGossip& gossip);
 
 /// Parses a frame produced by encode(). Throws CheckError on malformed input.
 [[nodiscard]] Message decode(BinaryReader& reader);

@@ -324,8 +324,12 @@ class TcpTransport::Connection final : public IoHandler {
     if (state_ != State::kEstablished) return;
     while (!pending_.empty()) {
       Pending& p = pending_.front();
-      const ssize_t n = ::write(fd_.get(), p.bytes.data() + p.offset,
-                                p.bytes.size() - p.offset);
+      // MSG_NOSIGNAL: a peer that crashed mid-stream RSTs the connection;
+      // the write must surface EPIPE to the close_now path below, not
+      // raise SIGPIPE and kill the process (sustained pub/sub streams
+      // write into dying sockets routinely during churn).
+      const ssize_t n = ::send(fd_.get(), p.bytes.data() + p.offset,
+                               p.bytes.size() - p.offset, MSG_NOSIGNAL);
       HPV_LOG_DEBUG("tcp %s: write %zd/%zu to %s (fd %d, errno %d)",
                     transport_->local_id().to_string().c_str(), n,
                     p.bytes.size() - p.offset,

@@ -1,0 +1,448 @@
+// TreeBroadcastEngine (Plumtree) unit tests: eager/lazy link dynamics, the
+// windowed link-score prune rules, the graft timer chain, and NodeRuntime
+// dispatch of the payload-plane frames.
+#include "hyparview/gossip/tree_broadcast_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../support/fake_env.hpp"
+#include "hyparview/gossip/node_runtime.hpp"
+
+namespace hyparview::gossip {
+namespace {
+
+using test::FakeEnv;
+
+NodeId nid(std::uint32_t i) { return NodeId::from_index(i); }
+
+class FakeProtocol final : public membership::Protocol {
+ public:
+  void start(std::optional<NodeId>) override {}
+  void handle(const NodeId&, const wire::Message&) override { ++handled; }
+  void on_send_failed(const NodeId&, const wire::Message&) override {}
+  void on_link_closed(const NodeId&) override {}
+  void on_cycle() override {}
+
+  using membership::Protocol::broadcast_targets;
+  void broadcast_targets(std::size_t fanout, const NodeId& from,
+                         std::vector<NodeId>& out) override {
+    out.clear();
+    for (const NodeId& t : targets) {
+      if (t != from) out.push_back(t);
+    }
+    if (fanout > 0 && out.size() > fanout) out.resize(fanout);
+  }
+
+  void peer_unreachable(const NodeId& peer) override {
+    unreachable.push_back(peer);
+    targets.erase(std::remove(targets.begin(), targets.end(), peer),
+                  targets.end());
+  }
+
+  std::span<const NodeId> dissemination_view() const override {
+    return targets;
+  }
+  std::span<const NodeId> backup_view() const override { return {}; }
+  const char* name() const override { return "fake"; }
+
+  std::vector<NodeId> targets;
+  std::vector<NodeId> unreachable;
+  int handled = 0;
+};
+
+class RecordingObserver final : public DeliveryObserver {
+ public:
+  void on_deliver(const NodeId& node, std::uint64_t msg_id,
+                  std::uint16_t hops) override {
+    deliveries.push_back({node, msg_id, hops});
+  }
+  void on_duplicate(const NodeId&, std::uint64_t) override { ++duplicates; }
+
+  struct Delivery {
+    NodeId node;
+    std::uint64_t msg_id;
+    std::uint16_t hops;
+  };
+  std::vector<Delivery> deliveries;
+  int duplicates = 0;
+};
+
+wire::TreeGossip gossip(std::uint64_t id, std::uint16_t hops = 1) {
+  wire::TreeGossip g;
+  g.msg_id = id;
+  g.hops = hops;
+  g.payload_size = 64;
+  return g;
+}
+
+class PlumtreeEngineTest : public ::testing::Test {
+ protected:
+  PlumtreeEngineTest() : env_(nid(0)) {
+    proto_.targets = {nid(1), nid(2), nid(3), nid(4)};
+  }
+
+  TreeBroadcastEngine make_engine() {
+    GossipConfig cfg;
+    cfg.engine = Engine::kPlumtree;
+    return TreeBroadcastEngine(env_, proto_, cfg, &observer_);
+  }
+
+  /// Fires every task scheduled so far (the graft timer chain), clearing
+  /// the queue first so re-arms are visible as new entries.
+  void fire_timers() {
+    std::vector<test::FakeEnv::ScheduledTask> due;
+    due.swap(env_.tasks);
+    for (auto& t : due) t.fn();
+  }
+
+  Duration window() const { return GossipConfig{}.graft_timeout; }
+
+  FakeEnv env_;
+  FakeProtocol proto_;
+  RecordingObserver observer_;
+};
+
+TEST_F(PlumtreeEngineTest, BroadcastStartsAllEager) {
+  auto engine = make_engine();
+  engine.broadcast(100);
+  ASSERT_EQ(observer_.deliveries.size(), 1u);
+  EXPECT_EQ(observer_.deliveries[0].hops, 0u);
+  // Every link starts eager: full payload push, no IHave.
+  EXPECT_EQ(env_.sent_of_type<wire::TreeGossip>().size(), 4u);
+  EXPECT_TRUE(env_.sent_of_type<wire::IHave>().empty());
+  EXPECT_EQ(engine.messages_forwarded(), 4u);
+  EXPECT_GT(engine.payload_bytes_sent(), 0u);
+  EXPECT_EQ(engine.control_bytes_sent(), 0u);
+}
+
+TEST_F(PlumtreeEngineTest, FreshGossipForwardsEagerExcludingSender) {
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(200, 3));
+  ASSERT_EQ(observer_.deliveries.size(), 1u);
+  EXPECT_EQ(observer_.deliveries[0].hops, 3u);
+  const auto sent = env_.sent_of_type<wire::TreeGossip>();
+  ASSERT_EQ(sent.size(), 3u);
+  for (const auto& [to, g] : sent) {
+    EXPECT_NE(to, nid(1));
+    EXPECT_EQ(g.hops, 4u);
+  }
+}
+
+TEST_F(PlumtreeEngineTest, SingleDuplicateDoesNotPrune) {
+  // kPruneDupThreshold = 2: one duplicate in a window is only evidence.
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(300));
+  engine.handle_gossip(nid(2), gossip(300));
+  EXPECT_EQ(engine.duplicates_received(), 1u);
+  EXPECT_TRUE(env_.sent_of_type<wire::Prune>().empty());
+  EXPECT_TRUE(engine.lazy_peers().empty());
+}
+
+TEST_F(PlumtreeEngineTest, DeadLinkPrunedAfterThresholdDuplicates) {
+  // Two duplicates, zero firsts, no grace: the dead-link rule cuts it.
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(300));
+  engine.handle_gossip(nid(2), gossip(300));
+  engine.handle_gossip(nid(1), gossip(301));
+  engine.handle_gossip(nid(2), gossip(301));
+  const auto prunes = env_.sent_of_type<wire::Prune>();
+  ASSERT_EQ(prunes.size(), 1u);
+  EXPECT_EQ(prunes[0].first, nid(2));
+  EXPECT_EQ(engine.prunes_sent(), 1u);
+  ASSERT_EQ(engine.lazy_peers().size(), 1u);
+  EXPECT_EQ(engine.lazy_peers()[0], nid(2));
+}
+
+TEST_F(PlumtreeEngineTest, LazyPeerGetsIHaveInsteadOfPayload) {
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(300));
+  engine.handle_gossip(nid(2), gossip(300));
+  engine.handle_gossip(nid(1), gossip(301));
+  engine.handle_gossip(nid(2), gossip(301));  // nid(2) demoted here
+  env_.sent.clear();
+  engine.broadcast(400);
+  const auto payloads = env_.sent_of_type<wire::TreeGossip>();
+  const auto announces = env_.sent_of_type<wire::IHave>();
+  ASSERT_EQ(payloads.size(), 3u);
+  for (const auto& [to, g] : payloads) EXPECT_NE(to, nid(2));
+  ASSERT_EQ(announces.size(), 1u);
+  EXPECT_EQ(announces[0].first, nid(2));
+  EXPECT_EQ(announces[0].second.msg_id, 400u);
+}
+
+TEST_F(PlumtreeEngineTest, WeakLinkPrunedOncePerWindow) {
+  // nid(1) and nid(2) split the wins: each scores firsts, so neither is
+  // ever dead — the weak rule (dups >= firsts) cuts them, but at most one
+  // weak cut per node per window.
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(500));  // first via 1
+  engine.handle_gossip(nid(2), gossip(500));  // dup via 2
+  engine.handle_gossip(nid(2), gossip(501));  // first via 2
+  engine.handle_gossip(nid(1), gossip(501));  // dup via 1
+  engine.handle_gossip(nid(1), gossip(502));  // first via 1
+  engine.handle_gossip(nid(2), gossip(502));  // dup via 2: 2 dups >= 1 first
+  EXPECT_EQ(env_.sent_of_type<wire::Prune>().size(), 1u);
+  // More duplicate evidence against nid(1) inside the same window: muted.
+  engine.handle_gossip(nid(2), gossip(503));
+  engine.handle_gossip(nid(1), gossip(503));
+  engine.handle_gossip(nid(2), gossip(504));
+  engine.handle_gossip(nid(1), gossip(504));
+  EXPECT_EQ(env_.sent_of_type<wire::Prune>().size(), 1u);
+  // Once the mute expires, nid(1) — now winning nothing — still gets one
+  // window of grace from its past firsts before the dead rule cuts it.
+  env_.advance(window());
+  engine.handle_gossip(nid(2), gossip(505));
+  engine.handle_gossip(nid(1), gossip(505));
+  engine.handle_gossip(nid(2), gossip(506));
+  engine.handle_gossip(nid(1), gossip(506));
+  EXPECT_EQ(env_.sent_of_type<wire::Prune>().size(), 1u);  // grace holds
+  env_.advance(window());
+  engine.handle_gossip(nid(2), gossip(507));
+  engine.handle_gossip(nid(1), gossip(507));
+  engine.handle_gossip(nid(2), gossip(508));
+  engine.handle_gossip(nid(1), gossip(508));
+  const auto prunes = env_.sent_of_type<wire::Prune>();
+  ASSERT_EQ(prunes.size(), 2u);
+  EXPECT_EQ(prunes[1].first, nid(1));
+}
+
+TEST_F(PlumtreeEngineTest, GraceProtectsRecentTreeParentAcrossOneWindow) {
+  // nid(1) won everything last window; this window it only loses. The
+  // one-window grace keeps the dead rule from cutting it on a boundary
+  // artifact; the window after that, it is cut.
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(600));
+  engine.handle_gossip(nid(1), gossip(601));
+  env_.advance(window());
+  engine.handle_gossip(nid(2), gossip(602));
+  engine.handle_gossip(nid(1), gossip(602));  // dup 1 (rolls, grace on)
+  engine.handle_gossip(nid(2), gossip(603));
+  engine.handle_gossip(nid(1), gossip(603));  // dup 2: dead blocked by grace
+  EXPECT_TRUE(env_.sent_of_type<wire::Prune>().empty());
+  env_.advance(window());
+  engine.handle_gossip(nid(2), gossip(604));
+  engine.handle_gossip(nid(1), gossip(604));  // grace decayed
+  engine.handle_gossip(nid(2), gossip(605));
+  engine.handle_gossip(nid(1), gossip(605));  // dup 2 this window: cut
+  const auto prunes = env_.sent_of_type<wire::Prune>();
+  ASSERT_EQ(prunes.size(), 1u);
+  EXPECT_EQ(prunes[0].first, nid(1));
+}
+
+TEST_F(PlumtreeEngineTest, SparseWindowCarriesDupEvidenceAcrossRoll) {
+  // Traffic slower than the window: each window scores a single duplicate.
+  // A full reset at every roll would keep the count below the threshold
+  // forever; the sparse-window carry accumulates it instead, so a pure
+  // loser is still judged dead.
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(700));
+  engine.handle_gossip(nid(2), gossip(700));  // dup 1 via 2
+  env_.advance(window());
+  engine.handle_gossip(nid(1), gossip(701));
+  engine.handle_gossip(nid(2), gossip(701));  // dup 2, carried across roll
+  const auto prunes = env_.sent_of_type<wire::Prune>();
+  ASSERT_EQ(prunes.size(), 1u);
+  EXPECT_EQ(prunes[0].first, nid(2));
+}
+
+TEST_F(PlumtreeEngineTest, DenseWindowResetsDupEvidenceAtRoll) {
+  // A dense window (enough events for a judgment on its own) must NOT
+  // carry: otherwise a busy dup-only link would cross the roll already at
+  // the threshold and one fresh duplicate would cut it instantly — many
+  // links at once, the composed-prune disconnection the score prevents.
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(800));
+  engine.handle_gossip(nid(2), gossip(800));  // dup 1 via 2
+  engine.handle_gossip(nid(2), gossip(801));  // first via 2: dense window
+  env_.advance(window());
+  engine.handle_gossip(nid(1), gossip(802));
+  engine.handle_gossip(nid(2), gossip(802));  // dup 1 of the NEW window
+  EXPECT_TRUE(env_.sent_of_type<wire::Prune>().empty());
+}
+
+TEST_F(PlumtreeEngineTest, IHaveArmsGraftTimerAndGraftsOnExpiry) {
+  auto engine = make_engine();
+  engine.handle_ihave(nid(3), wire::IHave{900, 2});
+  EXPECT_EQ(engine.pending_grafts(), 1u);
+  ASSERT_EQ(env_.tasks.size(), 1u);
+  // A second announcement for the same id extends the rotation, no 2nd timer.
+  engine.handle_ihave(nid(4), wire::IHave{900, 3});
+  EXPECT_EQ(env_.tasks.size(), 1u);
+
+  fire_timers();
+  auto grafts = env_.sent_of_type<wire::Graft>();
+  ASSERT_EQ(grafts.size(), 1u);
+  EXPECT_EQ(grafts[0].first, nid(3));  // first announcer first
+  EXPECT_EQ(grafts[0].second.msg_id, 900u);
+  EXPECT_EQ(engine.grafts_sent(), 1u);
+
+  // Still missing at the next expiry: rotate to the second announcer.
+  fire_timers();
+  grafts = env_.sent_of_type<wire::Graft>();
+  ASSERT_EQ(grafts.size(), 2u);
+  EXPECT_EQ(grafts[1].first, nid(4));
+
+  // Both announcers tried and silent: the chain gives up and terminates.
+  fire_timers();
+  EXPECT_EQ(env_.sent_of_type<wire::Graft>().size(), 2u);
+  EXPECT_EQ(engine.pending_grafts(), 0u);
+  EXPECT_TRUE(env_.tasks.empty());
+}
+
+TEST_F(PlumtreeEngineTest, EagerArrivalCancelsPendingGraft) {
+  auto engine = make_engine();
+  engine.handle_ihave(nid(3), wire::IHave{901, 2});
+  EXPECT_EQ(engine.pending_grafts(), 1u);
+  engine.handle_gossip(nid(1), gossip(901));
+  EXPECT_EQ(engine.pending_grafts(), 0u);
+  fire_timers();
+  EXPECT_TRUE(env_.sent_of_type<wire::Graft>().empty());
+}
+
+TEST_F(PlumtreeEngineTest, IHaveForSeenMessageIsIgnored) {
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(902));
+  engine.handle_ihave(nid(3), wire::IHave{902, 2});
+  EXPECT_EQ(engine.pending_grafts(), 0u);
+  EXPECT_TRUE(env_.tasks.empty());
+}
+
+TEST_F(PlumtreeEngineTest, GraftPromotesAndRetransmitsFromCache) {
+  auto engine = make_engine();
+  // Demote nid(2), then let it graft back.
+  engine.handle_gossip(nid(1), gossip(903));
+  engine.handle_gossip(nid(2), gossip(903));
+  engine.handle_gossip(nid(1), gossip(904));
+  engine.handle_gossip(nid(2), gossip(904));
+  ASSERT_EQ(engine.lazy_peers().size(), 1u);
+  env_.sent.clear();
+
+  engine.handle_graft(nid(2), wire::Graft{903});
+  EXPECT_TRUE(engine.lazy_peers().empty());  // eager again
+  const auto sent = env_.sent_of_type<wire::TreeGossip>();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first, nid(2));
+  EXPECT_EQ(sent[0].second.msg_id, 903u);
+  EXPECT_EQ(sent[0].second.hops, 2u);  // cached hops + 1
+}
+
+TEST_F(PlumtreeEngineTest, GraftPastCacheHorizonPromotesWithoutRetransmit) {
+  auto engine = make_engine();
+  engine.handle_graft(nid(2), wire::Graft{999});  // never seen
+  EXPECT_TRUE(env_.sent_of_type<wire::TreeGossip>().empty());
+}
+
+TEST_F(PlumtreeEngineTest, PruneFromPeerDemotesLink) {
+  auto engine = make_engine();
+  engine.handle_prune(nid(3));
+  ASSERT_EQ(engine.lazy_peers().size(), 1u);
+  EXPECT_EQ(engine.lazy_peers()[0], nid(3));
+}
+
+TEST_F(PlumtreeEngineTest, NeighborDownForgetsDemotion) {
+  auto engine = make_engine();
+  engine.handle_prune(nid(3));
+  engine.on_neighbor_down(nid(3));
+  // The replacement link (or the rejoining peer) starts eager again.
+  EXPECT_TRUE(engine.lazy_peers().empty());
+}
+
+TEST_F(PlumtreeEngineTest, SendFailureReportsPeerUnreachable) {
+  auto engine = make_engine();
+  EXPECT_TRUE(engine.handle_send_failed(nid(2), wire::Message{gossip(905)}));
+  ASSERT_EQ(proto_.unreachable.size(), 1u);
+  EXPECT_EQ(proto_.unreachable[0], nid(2));
+  // Membership frames are not the payload plane's business.
+  EXPECT_FALSE(engine.handle_send_failed(nid(3), wire::Message{wire::Join{}}));
+}
+
+TEST_F(PlumtreeEngineTest, ResetForgetsTreeAndHistory) {
+  auto engine = make_engine();
+  engine.handle_gossip(nid(1), gossip(906));
+  engine.handle_gossip(nid(2), gossip(906));
+  engine.handle_gossip(nid(1), gossip(907));
+  engine.handle_gossip(nid(2), gossip(907));
+  engine.handle_ihave(nid(3), wire::IHave{908, 2});
+  ASSERT_FALSE(engine.lazy_peers().empty());
+  engine.reset();
+  EXPECT_TRUE(engine.lazy_peers().empty());
+  EXPECT_EQ(engine.pending_grafts(), 0u);
+  engine.handle_gossip(nid(1), gossip(906));  // forgotten: delivered again
+  EXPECT_EQ(observer_.deliveries.back().msg_id, 906u);
+}
+
+// --- dedup window sizing ------------------------------------------------------
+
+// Regression for the discrete-wave default window (128): a sustained
+// multi-source stream keeps more distinct ids in flight than a drained
+// broadcast wave ever did — sources × rate per tick plus up to
+// kMaxAnnouncers graft-timeout rounds of repair retransmissions. Once the
+// in-flight horizon exceeds the window, a late copy of an evicted id looks
+// fresh: the node re-delivers it to the application and re-forwards it into
+// the tree. The committed pub/sub specs size dedup_window to 4096 for this
+// reason; this test pins the failure mode at the old size so nobody shrinks
+// the window back "because the broadcast tests still pass".
+TEST_F(PlumtreeEngineTest, DedupWindowBelowInflightHorizonFalselyRedelivers) {
+  GossipConfig small;
+  small.engine = Engine::kPlumtree;
+  small.dedup_window = 128;  // the discrete-wave default of defaults_for
+  TreeBroadcastEngine engine(env_, proto_, small, &observer_);
+
+  // A stream wide enough to evict id 1 from the window…
+  for (std::uint64_t id = 1; id <= 129; ++id)
+    engine.handle_gossip(nid(1), gossip(id));
+  EXPECT_EQ(observer_.deliveries.size(), 129u);
+
+  // …then a straggling duplicate copy of id 1 (a slower tree branch).
+  engine.handle_gossip(nid(2), gossip(1));
+  EXPECT_EQ(observer_.deliveries.size(), 130u)
+      << "the window still remembered id 1 — widen the stream above";
+  EXPECT_EQ(observer_.deliveries.back().msg_id, 1u);
+  EXPECT_EQ(engine.duplicates_received(), 0u);  // not even seen as a dup
+
+  // The stream-sized window (the committed specs use 4096) absorbs the
+  // same straggler as the duplicate it is.
+  GossipConfig sized = small;
+  sized.dedup_window = 4096;
+  observer_.deliveries.clear();
+  env_.sent.clear();
+  TreeBroadcastEngine wide(env_, proto_, sized, &observer_);
+  for (std::uint64_t id = 1; id <= 129; ++id)
+    wide.handle_gossip(nid(1), gossip(id));
+  wide.handle_gossip(nid(2), gossip(1));
+  EXPECT_EQ(observer_.deliveries.size(), 129u);
+  EXPECT_EQ(wide.duplicates_received(), 1u);
+}
+
+// --- NodeRuntime dispatch ----------------------------------------------------
+
+TEST(PlumtreeRuntimeTest, RoutesPayloadPlaneFramesToTreeEngine) {
+  FakeEnv env(nid(0));
+  auto proto = std::make_unique<FakeProtocol>();
+  FakeProtocol* proto_raw = proto.get();
+  proto_raw->targets = {nid(1), nid(2)};
+  RecordingObserver observer;
+  GossipConfig cfg;
+  cfg.engine = Engine::kPlumtree;
+  NodeRuntime runtime(env, std::move(proto), cfg, &observer);
+  EXPECT_STREQ(runtime.gossip().engine_name(), "plumtree");
+
+  wire::TreeGossip g;
+  g.msg_id = 1;
+  g.hops = 1;
+  g.payload_size = 64;
+  runtime.deliver(nid(1), g);
+  EXPECT_EQ(observer.deliveries.size(), 1u);
+  runtime.deliver(nid(1), wire::IHave{2, 1});
+  runtime.deliver(nid(1), wire::Graft{1});
+  runtime.deliver(nid(1), wire::Prune{});
+  EXPECT_EQ(proto_raw->handled, 0);  // all consumed by the engine
+
+  runtime.deliver(nid(1), wire::Join{});
+  EXPECT_EQ(proto_raw->handled, 1);
+}
+
+}  // namespace
+}  // namespace hyparview::gossip

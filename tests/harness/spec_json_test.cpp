@@ -95,7 +95,11 @@ Experiment random_experiment(std::mt19937& rng, int index) {
   std::uniform_real_distribution<double> frac(0.0, 1.0);
   const int phases = 1 + static_cast<int>(rng() % 5);
   for (int i = 0; i < phases; ++i) {
-    const std::string label = "p" + std::to_string(i);
+    // Built with += rather than `"p" + std::to_string(i)`: the rvalue
+    // string operator+ trips GCC 12's spurious -Wrestrict (PR 105651)
+    // under -Werror once inlining decisions shift.
+    std::string label = "p";
+    label += std::to_string(i);
     switch (kind_dist(rng)) {
       case 0:
         spec.stabilize(small(rng), {}, label);

@@ -82,6 +82,13 @@ Message random_message(std::uint8_t tag, Rng& rng) {
                            static_cast<std::uint32_t>(rng.below(1u << 20))};
     case 18: return GossipAck{rng.next()};
     case 19: return Hello{random_id(rng)};
+    case 20: return TreeGossip{rng.next(),
+                               static_cast<std::uint16_t>(rng.below(65536)),
+                               static_cast<std::uint32_t>(rng.below(1u << 20))};
+    case 21: return IHave{rng.next(),
+                          static_cast<std::uint16_t>(rng.below(65536))};
+    case 22: return Graft{rng.next()};
+    case 23: return Prune{};
     default:
       ADD_FAILURE() << "unhandled tag " << int(tag);
       return Join{};

@@ -39,6 +39,10 @@ std::vector<Message> representative_messages() {
       Gossip{0xFEEDFACE12345678ull, 12, 1024},
       GossipAck{42},
       Hello{c},
+      TreeGossip{0xDEADBEEF00C0FFEEull, 3, 4096},
+      IHave{0xDEADBEEF00C0FFEEull, 3},
+      Graft{77},
+      Prune{},
   };
 }
 
@@ -61,6 +65,9 @@ TEST_P(WireRoundTrip, WireCostIsEncodingPlusGossipPayload) {
   const Message msg = representative_messages()[GetParam()];
   std::size_t expected = encode_bytes(msg).size();
   if (const auto* g = std::get_if<Gossip>(&msg)) expected += g->payload_size;
+  if (const auto* t = std::get_if<TreeGossip>(&msg)) {
+    expected += t->payload_size;
+  }
   EXPECT_EQ(wire_cost(msg), expected) << type_name(msg);
 }
 
@@ -70,7 +77,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(WireTest, TagsAreStableVariantIndices) {
   EXPECT_EQ(type_tag(Message{Join{}}), 0);
-  EXPECT_EQ(type_tag(Message{Hello{}}),
+  // Tags are append-only: pre-Plumtree kinds keep their original indices.
+  EXPECT_EQ(type_tag(Message{Gossip{}}), 17);
+  EXPECT_EQ(type_tag(Message{Hello{}}), 19);
+  EXPECT_EQ(type_tag(Message{TreeGossip{}}), 20);
+  EXPECT_EQ(type_tag(Message{Prune{}}),
             static_cast<std::uint8_t>(std::variant_size_v<Message> - 1));
 }
 
@@ -187,6 +198,13 @@ TEST(WireTest, GossipWireCostOverloadMatchesGenericOverload) {
   // drift from what the generic encoder actually produces.
   for (const std::uint32_t payload : {0u, 1u, 128u, 65536u}) {
     const Gossip g{0x0123456789abcdefull, 7, payload};
+    EXPECT_EQ(wire_cost(g), wire_cost(Message{g})) << payload;
+  }
+}
+
+TEST(WireTest, TreeGossipWireCostOverloadMatchesGenericOverload) {
+  for (const std::uint32_t payload : {0u, 1u, 128u, 65536u}) {
+    const TreeGossip g{0x0123456789abcdefull, 7, payload};
     EXPECT_EQ(wire_cost(g), wire_cost(Message{g})) << payload;
   }
 }
